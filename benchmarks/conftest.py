@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Each benchmark regenerates (a reduced version of) one of the paper's
+tables or figures and asserts its headline *shape* — who wins, by
+roughly what factor, where the cliffs are.  Absolute times are simulated
+and calibrated (see DESIGN.md); the pytest-benchmark timings measure the
+simulator itself.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (simulations are deterministic,
+    so repeated rounds only measure engine wall-time jitter)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

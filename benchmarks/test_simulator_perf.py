@@ -1,0 +1,84 @@
+"""Simulator performance: these benchmarks measure real wall time.
+
+The engine's throughput is what makes the 500-run Figure 3 sweep cheap;
+regressions here make the reproduction impractical.
+"""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine
+from repro.sim import Engine, Process, Sleep
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw heap scheduling: target well above 10^5 events/second."""
+    def run_events():
+        engine = Engine()
+        for i in range(50_000):
+            engine.call_at(i * 1e-6, lambda: None)
+        engine.run()
+        return engine.events_processed
+
+    processed = benchmark(run_events)
+    assert processed == 50_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process stepping, the inner loop of every application."""
+    def run_procs():
+        engine = Engine()
+
+        def body():
+            for _ in range(500):
+                yield Sleep(1e-6)
+
+        for i in range(20):
+            Process(engine, body(), name=f"p{i}").start()
+        engine.run()
+        return engine.events_processed
+
+    processed = benchmark(run_procs)
+    assert processed >= 10_000
+
+
+def test_message_pipeline_throughput(benchmark):
+    """End-to-end send/recv cost including routing and stats."""
+    topo = das_topology(clusters=2, cluster_size=2)
+
+    def run_messages():
+        machine = Machine(topo)
+
+        def sender(ctx):
+            for i in range(2_000):
+                yield ctx.send(3, 256, "t", payload=i)
+
+        def receiver(ctx):
+            for _ in range(2_000):
+                yield ctx.recv("t")
+
+        def idle(ctx):
+            yield ctx.compute(0)
+
+        machine.spawn(0, sender)
+        machine.spawn(3, receiver)
+        machine.spawn(1, idle)
+        machine.spawn(2, idle)
+        machine.run()
+        return machine.stats.total_messages
+
+    count = benchmark(run_messages)
+    assert count == 2_000
+
+
+def test_full_app_run_wall_time(benchmark):
+    """One bench-scale Water run (the Figure 3 unit of work)."""
+    from repro.apps import default_config, run_app
+
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    config = default_config("water", "bench")
+    result = benchmark.pedantic(
+        lambda: run_app("water", "optimized", topo, config=config),
+        rounds=3, iterations=1)
+    assert result.runtime > 0

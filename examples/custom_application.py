@@ -1,0 +1,64 @@
+"""Writing your own application against the runtime API.
+
+Implements a tiny iterative stencil-like solver twice:
+
+- ``naive``: every iteration ends in a *flat* allreduce for the global
+  residual (topology-unaware, like the paper's unoptimized codes);
+- ``hierarchical``: the same solver with a cluster-aware allreduce and a
+  tree barrier (the paper's recipe: make the communication pattern match
+  the interconnect).
+
+Then sweeps the WAN latency to show where the naive version collapses.
+
+Run: ``python examples/custom_application.py``
+"""
+
+from repro import das_topology, run_spmd
+from repro.runtime import allreduce, flat_barrier, tree_barrier
+
+ITERATIONS = 20
+WORK_PER_ITER = 2e-3  # seconds of local compute per iteration
+RESIDUAL_BYTES = 64
+
+
+def make_solver(hierarchical: bool):
+    def solver(ctx):
+        residual = float(ctx.num_ranks)
+        for it in range(ITERATIONS):
+            # Local relaxation sweep.
+            yield ctx.compute(WORK_PER_ITER)
+            # Exchange halo with the neighbouring rank (1-D decomposition).
+            if ctx.rank + 1 < ctx.num_ranks:
+                yield ctx.send(ctx.rank + 1, 1024, ("halo", it))
+            if ctx.rank > 0:
+                yield ctx.recv(("halo", it))
+            # Global residual: the communication pattern under study.
+            residual = yield from allreduce(
+                ctx, ("res", it), RESIDUAL_BYTES, residual / ctx.num_ranks,
+                lambda a, b: a + b, hierarchical=hierarchical)
+            barrier = tree_barrier if hierarchical else flat_barrier
+            yield from barrier(ctx, ("step", it))
+        return residual
+
+    return solver
+
+
+def main() -> None:
+    print("latency sweep, 4x8 clusters, 1 MByte/s WAN links")
+    print(f"{'WAN latency':>12s} | {'naive':>10s} | {'hierarchical':>12s} | speedup")
+    print("-" * 56)
+    for latency_ms in (0.5, 3.3, 10.0, 30.0, 100.0):
+        topo = das_topology(clusters=4, cluster_size=8,
+                            wan_latency_ms=latency_ms,
+                            wan_bandwidth_mbyte_s=1.0)
+        naive = run_spmd(topo, make_solver(hierarchical=False))
+        hier = run_spmd(topo, make_solver(hierarchical=True))
+        assert abs(naive.results[0] - hier.results[0]) < 1e-9
+        print(f"{latency_ms:9.1f} ms | {naive.runtime:9.4f}s | "
+              f"{hier.runtime:11.4f}s | {naive.runtime / hier.runtime:5.2f}x")
+    print("\nSame numerics, same answer — only the mapping of the")
+    print("communication pattern onto the two-layer interconnect differs.")
+
+
+if __name__ == "__main__":
+    main()

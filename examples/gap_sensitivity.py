@@ -1,0 +1,59 @@
+"""How large a NUMA gap can an application mask?  (Figure 3, distilled.)
+
+For a chosen application, sweeps the bandwidth gap and the latency gap
+separately and reports the largest gap at which each variant still holds
+60% of its single-cluster speedup — the paper's acceptability criterion.
+
+Run: ``python examples/gap_sensitivity.py [app]``   (default: water)
+"""
+
+import sys
+
+from repro.experiments import grids
+from repro.experiments.runner import Sweeper
+
+THRESHOLD = 60.0  # percent of all-Myrinet speedup (the paper's criterion)
+
+LATENCY_GRID_MS = (0.5, 1.3, 3.3, 10.0, 30.0, 100.0, 300.0)
+BANDWIDTH_GRID = (6.3, 2.6, 0.95, 0.3, 0.1, 0.03)
+
+
+def acceptable_gap(sweeper, app, variant):
+    """Largest bandwidth and latency gaps with >= THRESHOLD speedup."""
+    local_bw = 50.0   # Myrinet MByte/s
+    local_lat = 0.02  # Myrinet ms
+    best_bw_gap = None
+    for bw in BANDWIDTH_GRID:  # fast -> slow at the lowest latency
+        point = sweeper.speedup_at(app, variant, bw, LATENCY_GRID_MS[0])
+        if point.relative_speedup_pct >= THRESHOLD:
+            best_bw_gap = local_bw / bw
+    best_lat_gap = None
+    for lat in LATENCY_GRID_MS:  # short -> long at the highest bandwidth
+        point = sweeper.speedup_at(app, variant, BANDWIDTH_GRID[0], lat)
+        if point.relative_speedup_pct >= THRESHOLD:
+            best_lat_gap = lat / local_lat
+    return best_bw_gap, best_lat_gap
+
+
+def fmt(gap):
+    return f"{gap:8.0f}x" if gap else "   < min"
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "water"
+    sweeper = Sweeper(scale="bench")
+    variants = ["unoptimized"] if app == "fft" else ["unoptimized", "optimized"]
+    print(f"{app}: largest NUMA gap holding >= {THRESHOLD:.0f}% of "
+          f"single-cluster speedup (4x8 clusters)\n")
+    print(f"{'variant':>12s} | {'bandwidth gap':>14s} | {'latency gap':>12s}")
+    print("-" * 46)
+    for variant in variants:
+        bw_gap, lat_gap = acceptable_gap(sweeper, app, variant)
+        print(f"{variant:>12s} | {fmt(bw_gap):>14s} | {fmt(lat_gap):>12s}")
+    print("\nThe paper: restructuring buys roughly an extra order of")
+    print("magnitude in both dimensions (Section 5.1); current-generation")
+    print("NUMA gaps are ~3-10x, wide-area gaps are 100-5000x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Grid feasibility study: which applications survive wide-area links?
+
+The paper's headline implication: "the set of applications that can be
+run on large scale architectures, such as a computational grid, is larger
+than assumed so far, and includes medium grain applications."  This
+example evaluates every application (optimized where possible) at three
+operating points — a campus network, the production DAS WAN, and a
+continental grid — and reports which remain viable (>= 50% of their
+single-cluster speedup).
+
+Run: ``python examples/grid_feasibility.py``
+"""
+
+from repro.apps import default_config, run_app
+from repro.experiments import grids
+from repro.experiments.report import render_table
+
+OPERATING_POINTS = {
+    "campus (1 ms, 6 MByte/s)": dict(wan_latency_ms=1.0, wan_bandwidth_mbyte_s=6.0),
+    "national (10 ms, 1 MByte/s)": dict(wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0),
+    "continental (50 ms, 0.3 MByte/s)": dict(wan_latency_ms=50.0,
+                                             wan_bandwidth_mbyte_s=0.3),
+}
+
+
+def main() -> None:
+    baselines = {}
+    rows = []
+    for app in grids.APPS:
+        variant = "optimized" if app != "fft" else "unoptimized"
+        config = default_config(app, "bench")
+        base = run_app(app, variant, grids.baseline(), config=config)
+        baselines[app] = base.runtime
+        row = [f"{app} ({variant[:5]})"]
+        for name, knobs in OPERATING_POINTS.items():
+            topo = grids.multi_cluster(knobs["wan_bandwidth_mbyte_s"],
+                                       knobs["wan_latency_ms"])
+            multi = run_app(app, variant, topo, config=config)
+            rel = 100.0 * base.runtime / multi.runtime
+            verdict = "OK" if rel >= 50.0 else ("weak" if rel >= 25.0 else "no")
+            row.append(f"{rel:5.1f}% {verdict}")
+        rows.append(row)
+
+    print(render_table(
+        ["application"] + list(OPERATING_POINTS),
+        rows,
+        title=("Which applications can run on a 4x8 grid? "
+               "(relative to all-Myrinet; >=50% = viable)"),
+    ))
+    print("\nThe paper's conclusion in action: with hierarchical communication")
+    print("patterns, medium-grain applications (not just embarrassingly")
+    print("parallel ones) remain viable on wide-area systems — while matrix")
+    print("transposes (FFT) and un-restructured codes do not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""MagPIe in practice: swapping collective implementations transparently.
+
+"Not a single line of application code has to be changed to use the
+MagPIe algorithms" (Section 6) — here the same program runs once against
+the flat (MPICH-like) collectives and once against MagPIe's wide-area
+versions, selected by name.
+
+Run: ``python examples/magpie_collectives.py [latency_ms] [bandwidth_MBs]``
+"""
+
+import sys
+
+from repro import das_topology
+from repro.magpie import COLLECTIVE_NAMES, get_impl, invoke
+from repro.runtime import Machine
+
+
+def application_kernel(ctx, coll):
+    """A little program using a handful of collectives (unchanged code)."""
+    data = yield from coll.bcast(ctx, "setup", 0, 8192,
+                                 {"params": 42} if ctx.rank == 0 else None)
+    assert data == {"params": 42}
+    yield ctx.compute(2e-3)
+    partial = ctx.rank * data["params"]
+    total = yield from coll.allreduce(ctx, "sum", 64, partial, lambda a, b: a + b)
+    rows = yield from coll.gather(ctx, "collect", 0, 2048, total)
+    yield from coll.barrier(ctx, "done")
+    return rows if ctx.rank == 0 else total
+
+
+def run_with(impl_name, topo):
+    machine = Machine(topo)
+    coll = get_impl(impl_name)
+    for r in topo.ranks():
+        machine.spawn(r, lambda ctx: application_kernel(ctx, coll))
+    machine.run()
+    return machine
+
+
+def main() -> None:
+    latency_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    bandwidth = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=latency_ms,
+                        wan_bandwidth_mbyte_s=bandwidth)
+    print(f"machine: {topo.describe()}\n")
+
+    results = {}
+    for impl_name in ("flat", "magpie"):
+        machine = run_with(impl_name, topo)
+        results[impl_name] = machine
+        print(f"{impl_name:7s}: {machine.runtime() * 1000:8.2f} ms, "
+              f"{machine.stats.inter.messages:4d} WAN messages, "
+              f"{machine.stats.inter.bytes / 1024:7.1f} KiB over the WAN")
+    speedup = results["flat"].runtime() / results["magpie"].runtime()
+    print(f"\nMagPIe speedup on this kernel: {speedup:.2f}x "
+          f"(identical results, zero application changes)")
+    print(f"\nAvailable collectives ({len(COLLECTIVE_NAMES)}): "
+          + ", ".join(COLLECTIVE_NAMES))
+
+
+if __name__ == "__main__":
+    main()

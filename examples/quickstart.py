@@ -1,0 +1,65 @@
+"""Quickstart: build a two-layer machine, run code on it, measure a gap.
+
+This walks the three layers of the library:
+
+1. ``repro.network`` — describe a cluster-of-clusters interconnect.
+2. ``repro.runtime`` — write SPMD programs as generator processes.
+3. ``repro.apps`` — run one of the paper's applications and see how the
+   NUMA gap moves its speedup.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import das_topology, run_spmd, single_cluster
+from repro.apps import run_app
+from repro.runtime import CONTROL_BYTES, allreduce
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A machine: 4 clusters of 8, Myrinet inside, a 10 ms / 1 MByte/s
+    #    wide-area link between clusters (the paper's Figure 3 knobs).
+    # ------------------------------------------------------------------
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    print("machine:", topo.describe())
+    print(f"NUMA gap: {topo.gap_bandwidth():.0f}x bandwidth, "
+          f"{topo.gap_latency():.0f}x latency\n")
+
+    # ------------------------------------------------------------------
+    # 2. An SPMD program: everyone computes, then allreduces a sum.
+    #    Processes are generators; every communication is a yield.
+    # ------------------------------------------------------------------
+    def my_program(ctx):
+        yield ctx.compute(1e-3)                      # 1 ms of local work
+        if ctx.rank % 2 == 0 and ctx.rank + 1 < ctx.num_ranks:
+            yield ctx.send(ctx.rank + 1, CONTROL_BYTES, "hello",
+                           payload=f"from {ctx.rank}")
+        elif ctx.rank % 2 == 1:
+            msg = yield ctx.recv("hello")
+            assert msg.payload == f"from {ctx.rank - 1}"
+        total = yield from allreduce(ctx, "demo", 64, ctx.rank,
+                                     lambda a, b: a + b, hierarchical=True)
+        return total
+
+    result = run_spmd(topo, my_program)
+    expected = sum(range(topo.num_ranks))
+    print(f"allreduce on all {topo.num_ranks} ranks -> {result.results[0]} "
+          f"(expected {expected})")
+    print(f"simulated runtime: {result.runtime * 1000:.2f} ms, "
+          f"WAN messages: {result.stats.inter.messages}\n")
+
+    # ------------------------------------------------------------------
+    # 3. A paper application: Water, unoptimized vs optimized, against
+    #    the all-Myrinet baseline.
+    # ------------------------------------------------------------------
+    baseline = run_app("water", "unoptimized", single_cluster(32))
+    for variant in ("unoptimized", "optimized"):
+        multi = run_app("water", variant, topo)
+        rel = 100.0 * baseline.runtime / multi.runtime
+        print(f"water {variant:12s}: {multi.runtime:6.3f}s on the "
+              f"multi-cluster = {rel:5.1f}% of single-cluster speedup")
+
+
+if __name__ == "__main__":
+    main()

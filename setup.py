@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works offline (no `wheel` package
+
+available for PEP 660 editable builds); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

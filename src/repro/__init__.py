@@ -1,0 +1,34 @@
+"""repro — reproduction of Plaat et al., "Sensitivity of Parallel
+Applications to Large Differences in Bandwidth and Latency in Two-Layer
+Interconnects" (HPCA 1999).
+
+The package layers:
+
+- :mod:`repro.sim` — deterministic discrete-event kernel.
+- :mod:`repro.network` — the two-layer (Myrinet/ATM) interconnect model.
+- :mod:`repro.runtime` — Panda/Orca-like messaging and coordination.
+- :mod:`repro.magpie` — flat vs. wide-area-optimized MPI collectives.
+- :mod:`repro.apps` — the six applications, unoptimized and optimized.
+- :mod:`repro.experiments` — harnesses regenerating every table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from .network import Topology, das_topology, myrinet, single_cluster, wan
+from .runtime import Context, Machine, RunResult, run_spmd
+from .trace import Tracer, render_timeline
+
+__all__ = [
+    "Topology",
+    "das_topology",
+    "myrinet",
+    "single_cluster",
+    "wan",
+    "Context",
+    "Machine",
+    "RunResult",
+    "run_spmd",
+    "Tracer",
+    "render_timeline",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro <experiment> [args...]``.
+
+Lists and dispatches the experiment harnesses (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import (
+    ablations,
+    algselect,
+    breakdown,
+    clusters,
+    export,
+    figure1,
+    figure3,
+    figure4,
+    magpie_bench,
+    table1,
+    table2,
+    variability,
+)
+
+COMMANDS = {
+    "table1": (table1.main, "Table 1: single-cluster speedups/traffic/runtime"),
+    "table2": (table2.main, "Table 2: patterns, optimizations, WAN message cuts"),
+    "figure1": (figure1.main, "Figure 1: inter-cluster traffic scatter"),
+    "figure3": (figure3.main, "Figure 3: relative-speedup panels (the main result)"),
+    "figure4": (figure4.main, "Figure 4: communication-time percentages"),
+    "clusters": (clusters.main, "Section 5.1: 8x4 vs 4x8 cluster structure"),
+    "magpie": (magpie_bench.main, "Section 6: MagPIe vs MPICH collectives"),
+    "variability": (variability.main, "Further work: WAN latency/bandwidth jitter"),
+    "breakdown": (breakdown.main, "Per-rank time breakdown at a grid point"),
+    "ablations": (ablations.main, "Ablations of each optimization's ingredients"),
+    "export": (export.main, "Export experiment data as CSV/JSON"),
+    "algselect": (algselect.main, "Collective algorithm selection across the gap"),
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:")
+        for name, (_, desc) in COMMANDS.items():
+            print(f"  {name:12s} {desc}")
+        return 0
+    name, rest = argv[0], argv[1:]
+    if name not in COMMANDS:
+        print(f"unknown experiment {name!r}; run `python -m repro --help`",
+              file=sys.stderr)
+        return 2
+    COMMANDS[name][0](rest)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Analytic first-order models used to validate the simulator."""
+
+from .model import (
+    gateway_bound,
+    local_rtt,
+    predict_asp_unoptimized,
+    predict_fft,
+    predict_tsp_central,
+    predict_water_optimized_floor,
+    remote_fraction,
+    wan_rtt,
+)
+
+__all__ = [
+    "gateway_bound",
+    "local_rtt",
+    "predict_asp_unoptimized",
+    "predict_fft",
+    "predict_tsp_central",
+    "predict_water_optimized_floor",
+    "remote_fraction",
+    "wan_rtt",
+]

@@ -1,0 +1,6 @@
+"""ASP: all-pairs shortest paths with ordered row broadcasts."""
+
+from . import kernel
+from .parallel import AspConfig, make_optimized, make_unoptimized
+
+__all__ = ["kernel", "AspConfig", "make_optimized", "make_unoptimized"]

@@ -1,0 +1,38 @@
+"""Sequential ASP kernel: Floyd-Warshall all-pairs shortest paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: "No edge" marker; small enough that INF + weight never overflows int64.
+INF = 10 ** 9
+
+
+def random_graph(n: int, seed: int = 0, density: float = 0.2,
+                 max_weight: int = 100) -> np.ndarray:
+    """Random directed weighted graph as an n x n distance matrix."""
+    rng = np.random.default_rng(seed)
+    dist = np.full((n, n), INF, dtype=np.int64)
+    edges = rng.random((n, n)) < density
+    weights = rng.integers(1, max_weight + 1, size=(n, n))
+    dist[edges] = weights[edges]
+    np.fill_diagonal(dist, 0)
+    return dist
+
+
+def floyd_warshall(dist: np.ndarray) -> np.ndarray:
+    """Reference O(n^3) all-pairs shortest paths (does not modify input)."""
+    d = dist.copy()
+    n = len(d)
+    for k in range(n):
+        np.minimum(d, d[:, k, None] + d[None, k, :], out=d)
+    return d
+
+
+def relax_block(block: np.ndarray, col_k: np.ndarray, row_k: np.ndarray) -> None:
+    """One Floyd-Warshall step on a row block, in place.
+
+    ``block`` holds this rank's rows, ``col_k`` is the block's column k,
+    ``row_k`` the (already final for step k) pivot row.
+    """
+    np.minimum(block, col_k[:, None] + row_k[None, :], out=block)

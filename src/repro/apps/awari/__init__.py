@@ -1,0 +1,6 @@
+"""Awari: parallel retrograde analysis with staged tiny-update floods."""
+
+from . import games, kernel
+from .parallel import AwariConfig, make_optimized, make_unoptimized
+
+__all__ = ["games", "kernel", "AwariConfig", "make_optimized", "make_unoptimized"]

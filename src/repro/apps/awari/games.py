@@ -1,0 +1,121 @@
+"""Additional real games for the retrograde-analysis substrate.
+
+The parallel Awari driver works over any *stage-DAG game*: states carry a
+stage number and every move strictly decreases it, so stages can be
+solved in order.  Besides the subtraction game in
+:mod:`repro.apps.awari.kernel`, this module provides:
+
+- :class:`KaylesGame` — the classic bowling-pin game on heap multisets:
+  remove one or two adjacent pins, possibly splitting a row.  Its state
+  space has real combinatorial structure (partitions of n), and the
+  Sprague-Grundy theorem gives an independent correctness oracle: the
+  Grundy number of a multi-heap state must equal the XOR of its heaps'
+  single-heap values.
+
+- :func:`retrograde_grundy` — backward induction computing full Grundy
+  numbers (mex over successors), generalizing WIN/LOSS retrograde
+  analysis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+State = Tuple[int, ...]  # canonical: non-increasing heap sizes, no zeros
+
+
+def _canonical(heaps) -> State:
+    return tuple(sorted((h for h in heaps if h > 0), reverse=True))
+
+
+class KaylesGame:
+    """Kayles on rows of pins, states = multisets of row lengths.
+
+    A move removes 1 or 2 adjacent pins from one row; the remainder of
+    the row splits into (up to) two rows.  The mover unable to move (no
+    pins) loses.  ``stage(state)`` is the total pin count: every move
+    removes pins, so the stage strictly decreases — the property the
+    parallel retrograde driver relies on.
+    """
+
+    def __init__(self, n_max: int) -> None:
+        if n_max < 0:
+            raise ValueError(f"n_max must be >= 0, got {n_max}")
+        self.n_max = n_max
+        self._states = self._enumerate_states()
+        self._predecessors: Dict[State, List[State]] = {s: [] for s in self._states}
+        for s in self._states:
+            for succ in self.successors(s):
+                self._predecessors[succ].append(s)
+
+    # -- enumeration -----------------------------------------------------
+    def _enumerate_states(self) -> List[State]:
+        """All partitions with total pins <= n_max (canonical form)."""
+        states: List[State] = [()]
+
+        def extend(prefix: List[int], remaining: int, max_part: int) -> None:
+            for part in range(min(remaining, max_part), 0, -1):
+                heaps = prefix + [part]
+                states.append(tuple(heaps))
+                extend(heaps, remaining - part, part)
+
+        extend([], self.n_max, self.n_max)
+        return states
+
+    def states(self) -> List[State]:
+        return self._states
+
+    def stage(self, state: State) -> int:
+        return sum(state)
+
+    def num_stages(self) -> int:
+        return self.n_max + 1
+
+    # -- moves -----------------------------------------------------------
+    def successors(self, state: State) -> List[State]:
+        out = set()
+        for idx, row in enumerate(state):
+            rest = state[:idx] + state[idx + 1:]
+            for take in (1, 2):
+                if row < take:
+                    continue
+                # Taking `take` adjacent pins at offset i leaves rows of
+                # lengths i and row - take - i.
+                for left in range(0, row - take + 1):
+                    right = row - take - left
+                    out.add(_canonical(rest + (left, right)))
+        return sorted(out, reverse=True)
+
+    def predecessors(self, state: State) -> List[State]:
+        return self._predecessors[state]
+
+
+def retrograde_grundy(game) -> Dict[object, int]:
+    """Grundy numbers for every state, by stages (mex over successors)."""
+    values: Dict[object, int] = {}
+    by_stage: Dict[int, List[object]] = {}
+    for s in game.states():
+        by_stage.setdefault(game.stage(s), []).append(s)
+    for stage in range(game.num_stages()):
+        for s in by_stage.get(stage, []):
+            succ_values = {values[t] for t in game.successors(s)}
+            g = 0
+            while g in succ_values:
+                g += 1
+            values[s] = g
+    return values
+
+
+def forward_grundy(game) -> Dict[object, int]:
+    """Independent oracle: memoized forward mex computation."""
+
+    @lru_cache(maxsize=None)
+    def value(state) -> int:
+        succ_values = {value(t) for t in game.successors(state)}
+        g = 0
+        while g in succ_values:
+            g += 1
+        return g
+
+    return {s: value(s) for s in game.states()}

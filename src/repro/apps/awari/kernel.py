@@ -1,0 +1,98 @@
+"""Sequential retrograde-analysis kernel.
+
+Retrograde analysis computes game-theoretic values of *all* states by
+backward induction from terminal positions — the method Awari end-game
+databases are built with.  We provide a generic solver over an abstract
+game plus a concrete small game (a subtraction game) whose stage
+structure (states with s tokens form stage s) mirrors Awari's by-stone
+stages.  The forward minimax solver is the independent reference the
+retrograde results are tested against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, List
+
+LOSS = 0   # the player to move loses with optimal play
+WIN = 1    # the player to move wins
+
+
+class SubtractionGame:
+    """Take-away game: remove t tokens (t in ``takes``); no move = loss.
+
+    States are integers 0..n_max; ``stage(state) = state`` (token count),
+    and every move strictly decreases the stage — exactly the dependency
+    structure of Awari's by-stone database stages.
+    """
+
+    def __init__(self, n_max: int, takes: Iterable[int] = (1, 2, 3)) -> None:
+        takes = tuple(sorted(set(takes)))
+        if not takes or takes[0] < 1:
+            raise ValueError(f"takes must be positive, got {takes}")
+        if n_max < 0:
+            raise ValueError(f"n_max must be >= 0, got {n_max}")
+        self.n_max = n_max
+        self.takes = takes
+
+    def states(self) -> range:
+        return range(self.n_max + 1)
+
+    def stage(self, state: int) -> int:
+        return state
+
+    def num_stages(self) -> int:
+        return self.n_max + 1
+
+    def successors(self, state: int) -> List[int]:
+        return [state - t for t in self.takes if state - t >= 0]
+
+    def predecessors(self, state: int) -> List[int]:
+        return [state + t for t in self.takes if state + t <= self.n_max]
+
+
+def retrograde_solve(game: SubtractionGame) -> Dict[int, int]:
+    """Backward-induction values for every state, stage by stage.
+
+    A state is WIN iff some successor is LOSS; terminal states (no moves)
+    are LOSS.  Processing stages in increasing order guarantees all
+    successor values are known — the invariant the parallel driver
+    enforces with its per-stage synchronization.
+    """
+    values: Dict[int, int] = {}
+    for stage in range(game.num_stages()):
+        for state in game.states():
+            if game.stage(state) != stage:
+                continue
+            succ = game.successors(state)
+            if not succ:
+                values[state] = LOSS
+            else:
+                values[state] = WIN if any(values[s] == LOSS for s in succ) else LOSS
+    return values
+
+
+def minimax_solve(game: SubtractionGame) -> Dict[int, int]:
+    """Independent forward-search reference (memoized minimax)."""
+
+    @lru_cache(maxsize=None)
+    def value(state: int) -> int:
+        succ = game.successors(state)
+        if not succ:
+            return LOSS
+        return WIN if any(value(s) == LOSS for s in succ) else LOSS
+
+    return {state: value(state) for state in game.states()}
+
+
+def state_owner(state, p: int) -> int:
+    """Deterministic hash distribution of states over p ranks (Awari hashes
+    positions to processors).  Supports integer states (subtraction game)
+    and tuple-of-int states (Kayles heaps); both hash reproducibly."""
+    if isinstance(state, int):
+        return (state * 2654435761 + 0x9E3779B9) % (2 ** 32) % p
+    acc = 0x9E3779B9
+    for part in state:
+        acc = (acc * 2654435761 + part + 0x7F4A7C15) % (2 ** 61 - 1)
+    return acc % p

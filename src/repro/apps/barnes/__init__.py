@@ -1,0 +1,6 @@
+"""Barnes-Hut: BSP n-body with locally-essential-tree exchange."""
+
+from . import kernel
+from .parallel import BarnesConfig, make_optimized, make_unoptimized
+
+__all__ = ["kernel", "BarnesConfig", "make_optimized", "make_unoptimized"]

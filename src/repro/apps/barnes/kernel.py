@@ -1,0 +1,219 @@
+"""Sequential Barnes-Hut kernel: octree, multipole moments, theta-walks,
+and locally-essential-tree (LET) extraction.
+
+The parallel code (Blackston & Suel style) partitions bodies spatially;
+each rank builds an octree over its own bodies and ships the *locally
+essential* part of that tree — the nodes a remote region needs under the
+opening criterion — to every other rank before the force phase.  The LET
+selection here uses the conservative minimum-distance criterion, so a
+receiver may simply sum the shipped items: every shipped node is
+acceptable (by the multipole acceptance criterion) for *every* point of
+the receiving region.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+EPS = 1e-2  # force softening
+
+
+class OctreeNode:
+    """One node of a Barnes-Hut octree over a cubic cell."""
+
+    __slots__ = ("center", "half", "mass", "com", "children", "body", "count")
+
+    def __init__(self, center: np.ndarray, half: float) -> None:
+        self.center = center
+        self.half = half                      # half the cell edge length
+        self.mass = 0.0
+        self.com = np.zeros(3)
+        self.children: Optional[List[Optional["OctreeNode"]]] = None
+        self.body: Optional[int] = None       # body index if leaf with one body
+        self.count = 0
+
+    def _octant(self, pos: np.ndarray) -> int:
+        return ((pos[0] > self.center[0]) * 1
+                + (pos[1] > self.center[1]) * 2
+                + (pos[2] > self.center[2]) * 4)
+
+    def _child_for(self, pos: np.ndarray) -> "OctreeNode":
+        if self.children is None:
+            self.children = [None] * 8
+        idx = self._octant(pos)
+        child = self.children[idx]
+        if child is None:
+            offset = np.array([
+                self.half / 2 if pos[0] > self.center[0] else -self.half / 2,
+                self.half / 2 if pos[1] > self.center[1] else -self.half / 2,
+                self.half / 2 if pos[2] > self.center[2] else -self.half / 2,
+            ])
+            child = OctreeNode(self.center + offset, self.half / 2)
+            self.children[idx] = child
+        return child
+
+    def insert(self, index: int, pos: np.ndarray, all_pos: np.ndarray,
+               depth: int = 0) -> None:
+        """Insert body ``index``; splits leaves as needed."""
+        if self.count == 0:
+            self.body = index
+            self.count = 1
+            return
+        if self.count == 1 and depth < 64:
+            # Split: push the resident body down, then insert the new one.
+            resident = self.body
+            self.body = None
+            self._child_for(all_pos[resident]).insert(resident, all_pos[resident],
+                                                      all_pos, depth + 1)
+            self.count = 0  # recounted below
+            self.count = 1
+        self.count += 1
+        if depth >= 64:  # pathological coincident points: keep as multi-leaf
+            return
+        self._child_for(pos).insert(index, pos, all_pos, depth + 1)
+
+
+def bounding_cube(pos: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Center and half-size of a cube covering all positions."""
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    center = (lo + hi) / 2
+    half = float((hi - lo).max() / 2) or 0.5
+    return center, half * 1.001 + 1e-9
+
+
+def build_octree(pos: np.ndarray, mass: np.ndarray) -> OctreeNode:
+    """Octree over the given bodies, with moments computed."""
+    center, half = bounding_cube(pos)
+    root = OctreeNode(center, half)
+    for i in range(len(pos)):
+        root.insert(i, pos[i], pos)
+    compute_moments(root, pos, mass)
+    return root
+
+
+def compute_moments(node: OctreeNode, pos: np.ndarray, mass: np.ndarray) -> None:
+    """Fill mass and center-of-mass bottom-up."""
+    if node.body is not None:
+        node.mass = float(mass[node.body])
+        node.com = pos[node.body].astype(float)
+        return
+    total = 0.0
+    com = np.zeros(3)
+    if node.children:
+        for child in node.children:
+            if child is not None and child.count:
+                compute_moments(child, pos, mass)
+                total += child.mass
+                com += child.mass * child.com
+    node.mass = total
+    node.com = com / total if total > 0 else node.center.astype(float)
+
+
+def _accel_from(point: np.ndarray, source: np.ndarray, mass: float) -> np.ndarray:
+    delta = source - point
+    r2 = float(delta @ delta) + EPS
+    return mass * delta / (r2 * np.sqrt(r2))
+
+
+def force_on(point: np.ndarray, node: OctreeNode, theta: float,
+             skip_body: Optional[int] = None) -> Tuple[np.ndarray, int]:
+    """Theta-walk force on a point; returns (force, interactions)."""
+    if node.count == 0:
+        return np.zeros(3), 0
+    if node.body is not None:
+        if node.body == skip_body:
+            return np.zeros(3), 0
+        return _accel_from(point, node.com, node.mass), 1
+    delta = node.com - point
+    dist = float(np.sqrt(delta @ delta)) + 1e-12
+    if node.half * 2 / dist < theta:
+        return _accel_from(point, node.com, node.mass), 1
+    total = np.zeros(3)
+    interactions = 0
+    for child in (node.children or []):
+        if child is not None and child.count:
+            f, n = force_on(point, child, theta, skip_body)
+            total += f
+            interactions += n
+    return total, interactions
+
+
+def min_dist_to_box(point: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+    """Distance from a point to an axis-aligned box (0 inside)."""
+    clamped = np.minimum(np.maximum(point, lo), hi)
+    delta = point - clamped
+    return float(np.sqrt(delta @ delta))
+
+
+def _box_gap(node: OctreeNode, lo: np.ndarray, hi: np.ndarray) -> float:
+    """Minimum distance between the node's cell and the target box."""
+    n_lo = node.center - node.half
+    n_hi = node.center + node.half
+    gap = np.maximum(np.maximum(lo - n_hi, n_lo - hi), 0.0)
+    return float(np.sqrt(gap @ gap))
+
+
+def let_items(node: OctreeNode, lo: np.ndarray, hi: np.ndarray,
+              theta: float) -> List[Tuple[np.ndarray, float]]:
+    """Locally essential tree of ``node`` for target region [lo, hi].
+
+    Returns (position, mass) items such that summing their direct
+    contributions reproduces a conservative theta-walk for every point in
+    the region: a node is shipped as a single item only when it satisfies
+    the acceptance criterion at the region's *closest* point.
+    """
+    if node.count == 0:
+        return []
+    if node.body is not None:
+        return [(node.com.copy(), node.mass)]
+    gap = _box_gap(node, lo, hi)
+    if gap > 0 and node.half * 2 / gap < theta:
+        return [(node.com.copy(), node.mass)]
+    items: List[Tuple[np.ndarray, float]] = []
+    for child in (node.children or []):
+        if child is not None and child.count:
+            items.extend(let_items(child, lo, hi, theta))
+    return items
+
+
+def force_from_items(point: np.ndarray,
+                     items: List[Tuple[np.ndarray, float]]) -> np.ndarray:
+    """Sum direct contributions of LET items at a point."""
+    total = np.zeros(3)
+    for source, mass in items:
+        total += _accel_from(point, source, mass)
+    return total
+
+
+def direct_forces(pos: np.ndarray, mass: np.ndarray) -> np.ndarray:
+    """O(n^2) reference accelerations (softened)."""
+    n = len(pos)
+    delta = pos[None, :, :] - pos[:, None, :]
+    r2 = (delta ** 2).sum(axis=-1) + EPS
+    np.fill_diagonal(r2, np.inf)
+    inv = mass[None, :] / (r2 * np.sqrt(r2))
+    return (inv[:, :, None] * delta).sum(axis=1)
+
+
+def morton_order(pos: np.ndarray, bits: int = 10) -> np.ndarray:
+    """Body permutation along a Z-order curve (compact spatial blocks)."""
+    lo, hi = pos.min(axis=0), pos.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    q = np.clip(((pos - lo) / span * (2 ** bits - 1)).astype(np.int64),
+                0, 2 ** bits - 1)
+    keys = np.zeros(len(pos), dtype=np.int64)
+    for bit in range(bits):
+        for dim in range(3):
+            keys |= ((q[:, dim] >> bit) & 1) << (3 * bit + dim)
+    return np.argsort(keys, kind="stable")
+
+
+def random_bodies(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Plummer-ish random cluster: positions, masses, velocities."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(0.0, 1.0, size=(n, 3))
+    mass = rng.uniform(0.5, 1.5, size=n) / n
+    vel = rng.normal(0.0, 0.05, size=(n, 3))
+    return pos, mass, vel

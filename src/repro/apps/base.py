@@ -1,0 +1,78 @@
+"""Common application plumbing: variant registry and run helper.
+
+Every application registers two builders (``unoptimized``/``optimized``;
+FFT registers the same driver for both, as the paper found no
+optimization).  A builder takes the app's config object and returns the
+per-rank main generator, ready for :func:`repro.runtime.run_spmd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..network.topology import Topology
+from ..runtime.context import Context
+from ..runtime.run import RunResult, run_spmd
+
+AppBuilder = Callable[[Any], Callable[[Context], Generator]]
+
+VARIANTS = ("unoptimized", "optimized")
+
+_REGISTRY: Dict[Tuple[str, str], AppBuilder] = {}
+_DEFAULT_CONFIGS: Dict[str, Callable[[str], Any]] = {}
+
+
+def register_app(
+    name: str,
+    variant: str,
+    builder: AppBuilder,
+    default_config: Optional[Callable[[str], Any]] = None,
+) -> None:
+    """Register an application variant builder.
+
+    ``default_config(scale_name)`` constructs the app's config at a named
+    workload scale ("paper" / "bench"); registering it once per app is
+    enough.
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    _REGISTRY[(name, variant)] = builder
+    if default_config is not None:
+        _DEFAULT_CONFIGS[name] = default_config
+
+
+def app_names() -> Tuple[str, ...]:
+    return tuple(sorted({name for name, _ in _REGISTRY}))
+
+
+def get_builder(name: str, variant: str) -> AppBuilder:
+    try:
+        return _REGISTRY[(name, variant)]
+    except KeyError:
+        known = sorted(_REGISTRY)
+        raise ValueError(f"no app variant {(name, variant)!r}; known: {known}") from None
+
+
+def default_config(name: str, scale: str = "bench") -> Any:
+    try:
+        factory = _DEFAULT_CONFIGS[name]
+    except KeyError:
+        raise ValueError(f"app {name!r} has no registered default config") from None
+    return factory(scale)
+
+
+def run_app(
+    name: str,
+    variant: str,
+    topology: Topology,
+    config: Any = None,
+    scale: str = "bench",
+    seed: int = 0,
+    until: Optional[float] = None,
+) -> RunResult:
+    """Build and run one application variant on ``topology``."""
+    if config is None:
+        config = default_config(name, scale)
+    main = get_builder(name, variant)(config)
+    return run_spmd(topology, main, seed=seed, until=until)

@@ -1,0 +1,21 @@
+"""Balanced contiguous block distribution shared by the applications."""
+
+from __future__ import annotations
+
+
+def partition(n: int, p: int, rank: int) -> range:
+    """Contiguous block of indices owned by ``rank`` (sizes differ by <= 1)."""
+    base, extra = divmod(n, p)
+    start = rank * base + min(rank, extra)
+    return range(start, start + base + (1 if rank < extra else 0))
+
+
+def owner_of(n: int, p: int, index: int) -> int:
+    """Rank owning ``index`` under :func:`partition` (inverse mapping)."""
+    if not 0 <= index < n:
+        raise IndexError(f"index {index} out of range for n={n}")
+    base, extra = divmod(n, p)
+    boundary = (base + 1) * extra  # first index owned by a small block
+    if index < boundary:
+        return index // (base + 1)
+    return extra + (index - boundary) // base

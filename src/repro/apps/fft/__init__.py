@@ -1,0 +1,6 @@
+"""FFT: 1-D transpose-algorithm FFT (three all-to-all transposes)."""
+
+from . import kernel
+from .parallel import FftConfig, make_driver
+
+__all__ = ["kernel", "FftConfig", "make_driver"]

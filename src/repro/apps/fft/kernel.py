@@ -1,0 +1,56 @@
+"""Sequential FFT kernel: the six-step (transpose) 1-D FFT.
+
+The transpose algorithm views the n-point input as an R x C matrix and
+computes the FFT as: transpose, R-point row FFTs, twiddle scaling,
+transpose, C-point row FFTs, transpose — the "three transposes,
+interspersed by parallel FFTs" of the paper.  Row FFTs are embarrassingly
+parallel over distributed rows; only the transposes communicate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def split_dims(n: int) -> Tuple[int, int]:
+    """Factor n (a power of two) into the squarest R x C = n."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError(f"n must be a positive power of two, got {n}")
+    log = n.bit_length() - 1
+    r_log = log // 2
+    return 1 << r_log, 1 << (log - r_log)
+
+
+def random_signal(n: int, seed: int = 0) -> np.ndarray:
+    """Deterministic complex test input."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+def twiddle_block(rows: np.ndarray, k1: np.ndarray, n: int) -> np.ndarray:
+    """Twiddle factors e^(-2*pi*i * i2 * k1 / n) for a block of i2 rows."""
+    return np.exp(-2j * np.pi * rows[:, None] * k1[None, :] / n)
+
+
+def six_step_fft(x: np.ndarray) -> np.ndarray:
+    """1-D FFT via the transpose algorithm; equals ``np.fft.fft(x)``."""
+    n = len(x)
+    r, c = split_dims(n)
+    a = x.reshape(r, c)
+    # Transpose 1: bring i1 (length-R dimension) into rows.
+    b = a.T.copy()                                   # C x R, indexed [i2][i1]
+    b = np.fft.fft(b, axis=1)                        # over i1 -> k1
+    b *= twiddle_block(np.arange(c), np.arange(r), n)
+    # Transpose 2: bring i2 into rows for the second FFT.
+    m = b.T.copy()                                   # R x C, indexed [k1][i2]
+    m = np.fft.fft(m, axis=1)                        # over i2 -> k2
+    # Transpose 3: natural output order X[k2*R + k1].
+    return m.T.copy().reshape(-1)
+
+
+def point_stages(n_rows: int, row_length: int) -> int:
+    """Work unit count for a block of row FFTs: points x log2(length)."""
+    return n_rows * row_length * max(1, int(math.log2(row_length)))

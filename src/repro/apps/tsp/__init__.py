@@ -1,0 +1,6 @@
+"""TSP: branch-and-bound with centralized vs. per-cluster work queues."""
+
+from . import kernel
+from .parallel import TspConfig, make_optimized, make_unoptimized
+
+__all__ = ["kernel", "TspConfig", "make_optimized", "make_unoptimized"]

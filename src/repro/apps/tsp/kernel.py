@@ -1,0 +1,100 @@
+"""Sequential TSP kernel: branch-and-bound over partial tours.
+
+As in the paper, runs use a *fixed* cutoff bound (no global best-bound
+updates), which makes the search deterministic and independent of job
+execution order — the property that lets the parallel program distribute
+jobs freely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def random_cities(n: int, seed: int = 0) -> np.ndarray:
+    """Symmetric integer distance matrix from random points on a grid."""
+    rng = np.random.default_rng(seed)
+    points = rng.integers(0, 1000, size=(n, 2))
+    delta = points[:, None, :] - points[None, :, :]
+    dist = np.sqrt((delta ** 2).sum(axis=-1)).astype(np.int64)
+    np.fill_diagonal(dist, 0)
+    return dist
+
+
+def tour_length(dist: np.ndarray, tour: Sequence[int]) -> int:
+    """Length of the closed tour visiting ``tour`` in order."""
+    total = 0
+    for a, b in zip(tour, tour[1:]):
+        total += int(dist[a][b])
+    total += int(dist[tour[-1]][tour[0]])
+    return total
+
+
+def greedy_bound(dist: np.ndarray) -> int:
+    """Nearest-neighbour tour length — the fixed cutoff bound."""
+    n = len(dist)
+    unvisited = set(range(1, n))
+    tour = [0]
+    while unvisited:
+        here = tour[-1]
+        nxt = min(unvisited, key=lambda c: dist[here][c])
+        unvisited.remove(nxt)
+        tour.append(nxt)
+    return tour_length(dist, tour)
+
+
+def enumerate_jobs(n: int, depth: int) -> List[Tuple[int, ...]]:
+    """All partial tours of ``depth`` cities starting at city 0.
+
+    With n=16, depth=5 this yields the paper's 15*14*13*12 = 32760 jobs.
+    """
+    if not 1 <= depth <= n:
+        raise ValueError(f"depth must be in [1, {n}], got {depth}")
+    return [(0, *rest) for rest in itertools.permutations(range(1, n), depth - 1)]
+
+
+def search_job(dist: np.ndarray, prefix: Sequence[int], bound: int) -> Tuple[int, int]:
+    """Depth-first completion of ``prefix`` with partial-length pruning.
+
+    Returns ``(best_length, nodes_explored)``; best_length may exceed
+    ``bound`` (reported as found) only if no completion beats the bound —
+    callers treat the bound as the incumbent.
+    """
+    n = len(dist)
+    in_prefix = set(prefix)
+    prefix_len = sum(int(dist[a][b]) for a, b in zip(prefix, prefix[1:]))
+    best = bound
+    nodes = 0
+    remaining0 = [c for c in range(n) if c not in in_prefix]
+
+    def dfs(last: int, length: int, remaining: List[int]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if not remaining:
+            total = length + int(dist[last][0])
+            if total < best:
+                best = total
+            return
+        for idx, city in enumerate(remaining):
+            step = length + int(dist[last][city])
+            if step >= best:
+                continue
+            rest = remaining[:idx] + remaining[idx + 1:]
+            dfs(city, step, rest)
+
+    dfs(prefix[-1], prefix_len, remaining0)
+    return best, nodes
+
+
+def solve_serial(dist: np.ndarray, depth: int, bound: int = None) -> int:
+    """Best tour length over all jobs — the parallel result's reference."""
+    if bound is None:
+        bound = greedy_bound(dist)
+    best = bound
+    for job in enumerate_jobs(len(dist), depth):
+        length, _ = search_job(dist, job, bound)
+        best = min(best, length)
+    return best

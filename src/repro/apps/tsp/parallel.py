@@ -1,0 +1,170 @@
+"""Parallel TSP: centralized job queue vs. per-cluster queues with stealing.
+
+Unoptimized (uniform-network design)
+    A single job queue on rank 0.  Every job fetch is an RPC; on a
+    4-cluster machine 75% of fetches pay the WAN round trip, making the
+    program latency-bound (its tiny messages make it bandwidth-immune —
+    the distinctive TSP profile in Figure 3).
+
+Optimized
+    One queue per cluster (on the cluster leader), workers fetch locally;
+    an empty queue steals batches from remote queues.  Inter-cluster
+    traffic then scales with the number of clusters, not processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Optional
+
+from ...costmodel import calibration as cal
+from ...runtime.context import Context
+from ...runtime.reduction import hier_reduce, linear_reduce
+from ...runtime.workqueue import (
+    CentralQueueService,
+    ClusterQueueService,
+    get_central_job,
+    get_cluster_job,
+)
+from ...sim.rng import make_rng
+from ..base import register_app
+from . import kernel
+
+
+@dataclass
+class TspConfig:
+    """Problem size and cost parameters."""
+
+    cities: int = 16
+    job_depth: int = 5
+    num_jobs: Optional[int] = 2048  # None = full enumeration (paper scale)
+    real_data: bool = False
+    seed: int = 0
+    mean_job_sec: float = cal.TSP_MEAN_JOB_SEC
+    job_sigma: float = cal.TSP_JOB_SIGMA
+    job_bytes: int = cal.TSP_JOB_BYTES
+    #: real-data mode: CPU time per explored search node.
+    sec_per_node: float = 2e-6
+    #: fraction of a victim queue taken per steal.
+    steal_fraction: float = 0.5
+    #: ablation knob: place every job in cluster 0's queue initially, so
+    #: the other clusters depend entirely on work stealing.
+    imbalanced_start: bool = False
+
+
+def _make_jobs(cfg: TspConfig) -> List:
+    """Job list: real partial tours, or synthetic indices at scale."""
+    if cfg.real_data:
+        return kernel.enumerate_jobs(cfg.cities, cfg.job_depth)
+    count = cfg.num_jobs if cfg.num_jobs is not None else cal.TSP_PAPER_JOBS
+    return list(range(count))
+
+
+def _job_duration(cfg: TspConfig, job_index: int) -> float:
+    """Synthetic job runtime: heavy-tailed around the calibrated mean.
+
+    Deterministic per (seed, job), so runs are reproducible and the total
+    work is identical however jobs are distributed.
+    """
+    import math
+
+    rng = make_rng(cfg.seed, f"tsp-job-{job_index}")
+    mu = math.log(cfg.mean_job_sec) - cfg.job_sigma ** 2 / 2
+    return rng.lognormvariate(mu, cfg.job_sigma)
+
+
+def _work_on(ctx: Context, cfg: TspConfig, job, dist, bound) -> Generator:
+    """Process one job; returns the best tour length found (or None)."""
+    if cfg.real_data:
+        length, nodes = kernel.search_job(dist, job, bound)
+        yield ctx.compute(nodes * cfg.sec_per_node)
+        return length
+    yield ctx.compute(_job_duration(cfg, job))
+    return None
+
+
+def make_unoptimized(cfg: TspConfig) -> Callable[[Context], Generator]:
+    def main(ctx: Context) -> Generator:
+        dist = bound = None
+        if cfg.real_data:
+            dist = kernel.random_cities(cfg.cities, cfg.seed)
+            bound = kernel.greedy_bound(dist)
+        if ctx.rank == 0:
+            service = CentralQueueService(_make_jobs(cfg), job_bytes=cfg.job_bytes)
+            ctx.spawn_service(service.body, name="tsp-queue")
+
+        best = bound
+        while True:
+            job = yield from get_central_job(ctx, 0)
+            if job is None:
+                break
+            length = yield from _work_on(ctx, cfg, job, dist, bound)
+            if length is not None and (best is None or length < best):
+                best = length
+
+        result = yield from linear_reduce(
+            ctx, "tsp-best", 0, 64, best, _min_or_none)
+        return result
+
+    return main
+
+
+def make_optimized(cfg: TspConfig) -> Callable[[Context], Generator]:
+    def main(ctx: Context) -> Generator:
+        topo = ctx.topology
+        dist = bound = None
+        if cfg.real_data:
+            dist = kernel.random_cities(cfg.cities, cfg.seed)
+            bound = kernel.greedy_bound(dist)
+
+        jobs = _make_jobs(cfg)
+        leaders = [topo.cluster_leader(c) for c in topo.clusters()]
+        my_leader = topo.cluster_leader(ctx.cluster)
+        if ctx.rank in leaders:
+            cid = topo.cluster_of(ctx.rank)
+            if cfg.imbalanced_start:
+                share = list(jobs) if cid == 0 else []
+            else:
+                share = jobs[cid::topo.num_clusters]
+            peers = [l for l in leaders if l != ctx.rank]
+            service = ClusterQueueService(share, peers, job_bytes=cfg.job_bytes,
+                                          steal_fraction=cfg.steal_fraction,
+                                          terminate_on_drain=True)
+            ctx.spawn_service(service.body, name="tsp-queue")
+
+        best = bound
+        request_id = 0
+        while True:
+            job = yield from get_cluster_job(ctx, my_leader, request_id)
+            request_id += 1
+            if job is None:
+                break
+            length = yield from _work_on(ctx, cfg, job, dist, bound)
+            if length is not None and (best is None or length < best):
+                best = length
+
+        result = yield from hier_reduce(
+            ctx, "tsp-best", 0, 64, best, _min_or_none)
+        return result
+
+    return main
+
+
+def _min_or_none(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _default_config(scale: str) -> TspConfig:
+    from ...costmodel import get_scale
+
+    ws = get_scale(scale)
+    num_jobs = None if scale == "paper" else ws.tsp_jobs
+    return TspConfig(num_jobs=num_jobs)
+
+
+register_app("tsp", "unoptimized", make_unoptimized, _default_config)
+register_app("tsp", "optimized", make_optimized)

@@ -1,0 +1,8 @@
+"""Water: n-squared molecular dynamics with all-to-half communication."""
+
+from . import kernel
+from .parallel import (WaterConfig, make_optimized, make_unoptimized, need_set,
+                       providers, tie_parity, tie_partner)
+
+__all__ = ["kernel", "WaterConfig", "make_optimized", "make_unoptimized",
+           "need_set", "providers", "tie_parity", "tie_partner"]

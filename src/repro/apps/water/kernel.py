@@ -1,0 +1,116 @@
+"""Sequential Water kernel: n-squared molecular dynamics.
+
+A faithful-in-structure stand-in for the Splash-2 "n-squared" Water code:
+molecules in a periodic box interact pairwise (soft Lennard-Jones-like
+force, no cutoff — every pair interacts, which is what makes the
+communication all-to-half), then positions are integrated.
+
+The parallel drivers in :mod:`repro.apps.water.parallel` reuse these
+functions on real data at test scale; ``serial_water`` is the reference
+the parallel results are checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+BOX_SIZE = 10.0
+DT = 1e-3
+SOFTENING = 0.5
+
+
+def init_molecules(n: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random initial positions in the box and small random velocities."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, BOX_SIZE, size=(n, 3))
+    velocities = rng.normal(0.0, 0.05, size=(n, 3))
+    return positions, velocities
+
+
+def pair_forces(pos_a: np.ndarray, pos_b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Forces between two disjoint molecule groups.
+
+    Returns ``(force_on_a, force_on_b)`` with Newton's third law holding
+    exactly: ``force_on_b = -sum-contributions`` of the same pair terms.
+    """
+    # delta[i, j] = pos_a[i] - pos_b[j]
+    delta = pos_a[:, None, :] - pos_b[None, :, :]
+    # Minimum-image convention in the periodic box.
+    delta -= BOX_SIZE * np.round(delta / BOX_SIZE)
+    r2 = np.sum(delta * delta, axis=-1) + SOFTENING
+    # Soft 1/r^2-style repulsion with a 1/r^4 core (smooth, bounded).
+    magnitude = 1.0 / (r2 * r2)
+    pairwise = magnitude[:, :, None] * delta
+    return pairwise.sum(axis=1), -pairwise.sum(axis=0)
+
+
+def parity_mask(n_mine: int, n_other: int, parity: int) -> np.ndarray:
+    """Boolean mask over (mine, other) pairs with ``(i + j) % 2 == parity``.
+
+    Used to split the p/2-distant "tie" partner's pair set exactly in half
+    between the two owners (lower rank takes parity 0, upper parity 1).
+    """
+    i = np.arange(n_mine)[:, None]
+    j = np.arange(n_other)[None, :]
+    return (i + j) % 2 == parity
+
+
+def pair_forces_masked(
+    pos_mine: np.ndarray, pos_other: np.ndarray, keep: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Like :func:`pair_forces` but only over pairs where ``keep`` is True."""
+    delta = pos_mine[:, None, :] - pos_other[None, :, :]
+    delta -= BOX_SIZE * np.round(delta / BOX_SIZE)
+    r2 = np.sum(delta * delta, axis=-1) + SOFTENING
+    magnitude = np.where(keep, 1.0 / (r2 * r2), 0.0)
+    pairwise = magnitude[:, :, None] * delta
+    return pairwise.sum(axis=1), -pairwise.sum(axis=0)
+
+
+def internal_forces(pos: np.ndarray) -> np.ndarray:
+    """Forces within one molecule group (each unordered pair counted once)."""
+    n = len(pos)
+    forces = np.zeros_like(pos)
+    if n < 2:
+        return forces
+    delta = pos[:, None, :] - pos[None, :, :]
+    delta -= BOX_SIZE * np.round(delta / BOX_SIZE)
+    r2 = np.sum(delta * delta, axis=-1) + SOFTENING
+    np.fill_diagonal(r2, np.inf)
+    magnitude = 1.0 / (r2 * r2)
+    forces = (magnitude[:, :, None] * delta).sum(axis=1)
+    return forces
+
+
+def integrate(
+    positions: np.ndarray, velocities: np.ndarray, forces: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One leapfrog-ish Euler step, wrapped into the periodic box."""
+    velocities = velocities + DT * forces
+    positions = np.mod(positions + DT * velocities, BOX_SIZE)
+    return positions, velocities
+
+
+def total_forces(positions: np.ndarray) -> np.ndarray:
+    """Direct O(n^2) forces on all molecules — the serial reference."""
+    return internal_forces(positions)
+
+
+def serial_water(
+    n: int, iterations: int, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference simulation: returns final (positions, velocities)."""
+    positions, velocities = init_molecules(n, seed)
+    for _ in range(iterations):
+        forces = total_forces(positions)
+        positions, velocities = integrate(positions, velocities, forces)
+    return positions, velocities
+
+
+def partition(n: int, p: int, rank: int) -> range:
+    """Contiguous block of molecule indices owned by ``rank`` (balanced)."""
+    base, extra = divmod(n, p)
+    start = rank * base + min(rank, extra)
+    return range(start, start + base + (1 if rank < extra else 0))

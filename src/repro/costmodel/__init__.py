@@ -1,0 +1,6 @@
+"""Calibration constants and workload scales (see DESIGN.md section 2)."""
+
+from . import calibration
+from .workloads import BENCH, PAPER, SCALES, WorkloadScale, get_scale
+
+__all__ = ["calibration", "BENCH", "PAPER", "SCALES", "WorkloadScale", "get_scale"]

@@ -1,0 +1,87 @@
+"""Calibration constants pinning the simulator to the paper's Table 1.
+
+The study's object is the *ratio* of communication to computation at the
+paper's problem sizes on 200 MHz Pentium Pro nodes.  We cannot measure a
+Pentium Pro, so per-operation CPU costs are free parameters chosen such
+that the simulated single-cluster runs reproduce Table 1's runtimes,
+speedups and traffic volumes (see ``repro.experiments.table1`` for the
+check).  Everything downstream (Figures 1, 3, 4) then follows from the
+network model with *no further tuning*.
+
+All times in seconds, sizes in bytes.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Water (n-squared molecular dynamics, 1500 molecules, ~10 timesteps)
+# ----------------------------------------------------------------------
+#: CPU time for one intermolecular pair force evaluation.
+WATER_SEC_PER_PAIR = 25.5e-6
+#: CPU time for integrating one molecule (intra-molecular + bookkeeping).
+WATER_SEC_PER_MOL_UPDATE = 40e-6
+#: On-the-wire size of one molecule's position record (9 doubles).
+WATER_POS_BYTES = 72
+#: On-the-wire size of one accumulated force record.
+WATER_FORCE_BYTES = 72
+
+# ----------------------------------------------------------------------
+# Barnes-Hut (BSP n-body, 64K bodies, theta-opening tree walks)
+# ----------------------------------------------------------------------
+#: CPU time per body-cell interaction in the force walk.
+BARNES_SEC_PER_INTERACTION = 0.96e-6
+#: Average interactions per body per iteration (~ opening parameter 1.0).
+BARNES_INTERACTIONS_PER_BODY = 260
+#: CPU time per body for tree construction, per iteration.
+BARNES_SEC_TREE_PER_BODY = 8e-6
+#: Locally-essential-tree exchange volume per processor pair per iteration.
+BARNES_LET_BYTES_PER_PAIR = 10_800
+#: Union-LET size for a whole remote cluster relative to one pair's LET
+#: (the eight members' LETs overlap heavily; see apps/barnes/parallel.py).
+BARNES_LET_UNION_FACTOR = 2.5
+#: Size of one tree-node/body record inside a LET message.
+BARNES_RECORD_BYTES = 48
+
+# ----------------------------------------------------------------------
+# ASP (Floyd-Warshall, 1500 x 1500 replicated distance matrix)
+# ----------------------------------------------------------------------
+#: CPU time per inner-loop relaxation (min/add on one matrix cell).
+ASP_SEC_PER_CELL = 55e-9
+#: On-the-wire size of one broadcast row (1500 half-word distances).
+ASP_ROW_BYTES = 3_000
+
+# ----------------------------------------------------------------------
+# TSP (branch-and-bound, 16 cities, jobs = 5-city partial tours)
+# ----------------------------------------------------------------------
+#: Mean CPU time of one job's subtree search (heavy-tailed around this).
+TSP_MEAN_JOB_SEC = 4.2e-3
+#: Log-normal sigma of job durations (branch-and-bound subtrees vary).
+TSP_JOB_SIGMA = 0.9
+#: On-the-wire size of one job description (a partial tour).
+TSP_JOB_BYTES = 40
+#: Number of jobs at paper scale: 15*14*13*12 five-city prefixes.
+TSP_PAPER_JOBS = 32_760
+
+# ----------------------------------------------------------------------
+# Awari (retrograde analysis, 9-stone database, 9 stages)
+# ----------------------------------------------------------------------
+#: CPU time to evaluate one game state (generate successors, hash).
+AWARI_SEC_PER_EVAL = 25e-6
+#: CPU time to apply one incoming value update.
+AWARI_SEC_PER_UPDATE = 27e-6
+#: CPU time to pack one update into an outgoing combined message.
+AWARI_SEC_PER_PACK = 20e-6
+#: On-the-wire size of one value update (packed state id + value).
+AWARI_UPDATE_BYTES = 16
+#: Updates generated per evaluated state (average successor fan-out).
+AWARI_FANOUT = 1
+#: Per-destination combining threshold of the original program.
+AWARI_COMBINE_COUNT = 8
+
+# ----------------------------------------------------------------------
+# FFT (1-D transpose algorithm, 2^20 complex points)
+# ----------------------------------------------------------------------
+#: CPU time per butterfly (complex multiply-add pair).
+FFT_SEC_PER_BUTTERFLY = 0.40e-6
+#: Bytes of one complex sample on the wire (2 doubles).
+FFT_ELEMENT_BYTES = 16

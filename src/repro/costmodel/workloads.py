@@ -1,0 +1,74 @@
+"""Workload scales.
+
+``paper``  — the exact problem sizes of Table 1 (1500 molecules, 64K
+bodies, 1500x1500 matrix, 32760 TSP jobs, 9 Awari stages, 2^20-point FFT).
+
+``bench``  — the default for sweeps: identical *per-step* message sizes,
+per-step compute and concurrency structure, but fewer steps (iterations /
+rows / jobs / stages).  Relative speedup — the paper's y-axis — is
+invariant under this reduction (each step is an independent epoch of the
+same communication pattern), which keeps the 500-run Figure 3 sweep fast.
+
+``tiny``   — small *real-data* instances for correctness tests: the
+parallel drivers carry actual numbers and their results are checked
+against sequential reference kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Step counts for each application at one scale."""
+
+    name: str
+    water_molecules: int
+    water_iterations: int
+    barnes_bodies: int
+    barnes_iterations: int
+    asp_n: int
+    tsp_jobs: int
+    awari_stages: int
+    awari_states_per_stage: int
+    fft_points: int
+
+
+PAPER = WorkloadScale(
+    name="paper",
+    water_molecules=1500,
+    water_iterations=10,
+    barnes_bodies=65_536,
+    barnes_iterations=3,
+    asp_n=1500,
+    tsp_jobs=32_760,
+    awari_stages=9,
+    awari_states_per_stage=21_600,
+    fft_points=1 << 20,
+)
+
+BENCH = WorkloadScale(
+    name="bench",
+    water_molecules=1500,
+    water_iterations=2,
+    barnes_bodies=65_536,
+    barnes_iterations=1,
+    asp_n=240,
+    tsp_jobs=2_048,
+    awari_stages=2,
+    awari_states_per_stage=12_000,
+    fft_points=1 << 20,
+)
+
+SCALES: Dict[str, WorkloadScale] = {"paper": PAPER, "bench": BENCH}
+
+
+def get_scale(name: str) -> WorkloadScale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,151 @@
+"""Export experiment data as CSV/JSON for external plotting.
+
+The terminal tables are for eyeballs; this module emits the same numbers
+in machine-readable form::
+
+    python -m repro.experiments.export figure3 --apps water --out water.csv
+    python -m repro.experiments.export table1 --format json
+
+Supported datasets: ``table1``, ``figure1``, ``figure3``, ``figure4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from typing import Dict, List, Optional
+
+from . import grids
+from .runner import Sweeper
+
+
+def table1_rows(scale: str = "paper") -> List[Dict]:
+    from .table1 import PAPER_TABLE1, measure_app
+
+    rows = []
+    for app in grids.APPS:
+        measured = measure_app(app, scale)
+        paper = PAPER_TABLE1[app]
+        rows.append({
+            "app": app,
+            "speedup_32": round(measured.speedup_32, 3),
+            "speedup_8": round(measured.speedup_8, 3),
+            "traffic_mbyte_s": round(measured.traffic_mbyte_s, 3),
+            "runtime_32_s": round(measured.runtime_32, 4),
+            "paper_speedup_32": paper["sp32"],
+            "paper_speedup_8": paper["sp8"],
+            "paper_traffic": paper["traffic"],
+            "paper_runtime": paper["runtime"],
+        })
+    return rows
+
+
+def figure1_rows(scale: str = "paper") -> List[Dict]:
+    from .figure1 import measure
+
+    rows = []
+    for app in grids.APPS:
+        point = measure(app, scale)
+        rows.append({
+            "app": app,
+            "mbyte_s_per_cluster": round(point.mbyte_s_per_cluster, 4),
+            "messages_s_per_cluster": round(point.messages_s_per_cluster, 1),
+        })
+    return rows
+
+
+def figure3_rows(apps: Optional[List[str]] = None,
+                 scale: str = "bench", seed: int = 0) -> List[Dict]:
+    sweeper = Sweeper(scale=scale, seed=seed)
+    rows = []
+    for app in (apps or grids.APPS):
+        variants = ["unoptimized"] if app == "fft" else ["unoptimized", "optimized"]
+        for variant in variants:
+            grid = sweeper.speedup_grid(app, variant)
+            for (bw, lat), point in sorted(grid.points.items()):
+                rows.append({
+                    "app": app,
+                    "variant": variant,
+                    "bandwidth_mbyte_s": bw,
+                    "latency_ms": lat,
+                    "runtime_s": round(point.runtime, 6),
+                    "relative_speedup_pct": round(point.relative_speedup_pct, 2),
+                })
+    return rows
+
+
+def figure4_rows(scale: str = "bench", seed: int = 0) -> List[Dict]:
+    sweeper = Sweeper(scale=scale, seed=seed)
+    rows = []
+    for app in grids.APPS:
+        variant = "optimized" if app != "fft" else "unoptimized"
+        for bw in grids.BANDWIDTHS_MBYTE_S:
+            rows.append({
+                "app": app, "panel": "bandwidth",
+                "bandwidth_mbyte_s": bw, "latency_ms": grids.FIGURE4_LATENCY_MS,
+                "communication_time_pct": round(
+                    sweeper.communication_time_pct(
+                        app, variant, bw, grids.FIGURE4_LATENCY_MS), 2),
+            })
+        for lat in grids.LATENCIES_MS:
+            rows.append({
+                "app": app, "panel": "latency",
+                "bandwidth_mbyte_s": grids.FIGURE4_BANDWIDTH, "latency_ms": lat,
+                "communication_time_pct": round(
+                    sweeper.communication_time_pct(
+                        app, variant, grids.FIGURE4_BANDWIDTH, lat), 2),
+            })
+    return rows
+
+
+DATASETS = {
+    "table1": table1_rows,
+    "figure1": figure1_rows,
+    "figure3": figure3_rows,
+    "figure4": figure4_rows,
+}
+
+
+def to_csv(rows: List[Dict]) -> str:
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(rows: List[Dict]) -> str:
+    return json.dumps(rows, indent=2)
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dataset", choices=sorted(DATASETS))
+    parser.add_argument("--format", default="csv", choices=["csv", "json"])
+    parser.add_argument("--out", default=None, help="output path (default stdout)")
+    parser.add_argument("--scale", default=None, choices=[None, "paper", "bench"])
+    parser.add_argument("--apps", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.scale:
+        kwargs["scale"] = args.scale
+    if args.apps and args.dataset == "figure3":
+        kwargs["apps"] = args.apps
+    rows = DATASETS[args.dataset](**kwargs)
+    text = to_csv(rows) if args.format == "csv" else to_json(rows)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(rows)} rows to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+
+
+if __name__ == "__main__":
+    main()

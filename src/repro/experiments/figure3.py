@@ -1,0 +1,66 @@
+"""Figure 3: relative speedup vs. WAN bandwidth, one curve per latency.
+
+Reproduces all twelve panels (six applications, unoptimized and
+optimized) of the paper's central figure: speedup relative to the
+all-Myrinet 32-processor cluster over the {6.3 .. 0.03} MByte/s x
+{0.5 .. 300} ms grid on 4 clusters of 8.
+
+Run:
+    python -m repro.experiments.figure3                # all panels, bench scale
+    python -m repro.experiments.figure3 --apps water asp --variant optimized
+    python -m repro.experiments.figure3 --scale paper  # full step counts (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional
+
+from . import grids
+from .report import render_series_chart, render_table
+from .runner import SpeedupGrid, Sweeper
+
+
+def render_panel(grid: SpeedupGrid) -> str:
+    """One Figure-3 panel as a table plus an ASCII chart."""
+    bandwidths = sorted(grids.BANDWIDTHS_MBYTE_S, reverse=True)
+    headers = ["latency \\ bw MByte/s"] + [f"{bw:g}" for bw in bandwidths]
+    rows = []
+    series: Dict[str, List[float]] = {}
+    for lat in grids.LATENCIES_MS:
+        curve = {p.bandwidth_mbyte_s: p.relative_speedup_pct
+                 for p in grid.series(lat)}
+        rows.append([f"{lat:g} ms"] + [f"{curve[bw]:5.1f}%" for bw in bandwidths])
+        series[f"{lat:g}ms"] = [curve[bw] for bw in bandwidths]
+    title = (f"{grid.app.upper()} {grid.variant} — relative speedup "
+             f"(100% = all-Myrinet 32p, T_L={grid.baseline_runtime:.3f}s)")
+    table = render_table(headers, rows, title=title)
+    chart = render_series_chart(
+        series, [f"{bw:g}" for bw in bandwidths],
+        f"{grid.app} {grid.variant}: % of single-cluster speedup vs bandwidth",
+    )
+    return table + "\n\n" + chart
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", nargs="*", default=list(grids.APPS))
+    parser.add_argument("--variant", default=None,
+                        choices=[None, "unoptimized", "optimized"])
+    parser.add_argument("--scale", default="bench", choices=["paper", "bench"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    sweeper = Sweeper(scale=args.scale, seed=args.seed)
+    for app in args.apps:
+        variants = [args.variant] if args.variant else ["unoptimized", "optimized"]
+        if app == "fft":
+            variants = ["unoptimized"]  # the paper found no optimization
+        for variant in variants:
+            grid = sweeper.speedup_grid(app, variant)
+            print(render_panel(grid))
+            print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Terminal rendering for experiment output: tables and ASCII charts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """A simple aligned text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_chart(series: Dict[str, List[float]], x_labels: List[str],
+                        title: str, y_max: float = 100.0, height: int = 16,
+                        y_label: str = "%") -> str:
+    """ASCII multi-series chart: one printable column block per x value.
+
+    Good enough to eyeball the Figure 3 curve shapes in a terminal.
+    """
+    keys = list(series)
+    symbols = "ox+*#@%&"[: len(keys)]
+    width = len(x_labels)
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = y_max * level / height
+        line = []
+        for xi in range(width):
+            char = " "
+            for key, sym in zip(keys, symbols):
+                value = series[key][xi]
+                if abs(value - threshold) <= y_max / (2 * height):
+                    char = sym
+            line.append(char)
+        label = f"{threshold:5.0f}{y_label} |" if level % 4 == 0 else "      |"
+        rows.append(label + "  ".join(c for c in line))
+    axis = "      +" + "-" * (3 * width - 2)
+    labels = "       " + "  ".join(l[0] for l in x_labels)
+    legend = "  ".join(f"{sym}={key}" for key, sym in zip(keys, symbols))
+    xdesc = "       x: " + ", ".join(x_labels)
+    return "\n".join([title, *rows, axis, labels, xdesc, "  legend: " + legend])
+
+
+def format_pct(value: float) -> str:
+    return f"{value:5.1f}%"

@@ -1,0 +1,98 @@
+"""Sweep driver: relative speedups over the bandwidth x latency grid.
+
+Relative speedup follows the paper exactly: ``T_L / T_M * 100%`` where
+``T_L`` is the run time on the all-Myrinet single cluster with the same
+number of processors and ``T_M`` the run time on the multi-cluster.
+Baseline runs are cached per (app, variant, scale, ranks, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps import default_config, run_app
+from ..network.topology import Topology
+from ..runtime.run import RunResult
+from . import grids
+
+
+@dataclass
+class GridPoint:
+    bandwidth_mbyte_s: float
+    latency_ms: float
+    runtime: float
+    relative_speedup_pct: float
+
+
+@dataclass
+class SpeedupGrid:
+    """Relative-speedup surface for one application variant."""
+
+    app: str
+    variant: str
+    baseline_runtime: float
+    points: Dict[Tuple[float, float], GridPoint] = field(default_factory=dict)
+
+    def series(self, latency_ms: float) -> List[GridPoint]:
+        """One Figure-3 curve: points of a latency series, by bandwidth."""
+        return [self.points[(bw, latency_ms)]
+                for bw in sorted({bw for bw, lat in self.points
+                                  if lat == latency_ms})]
+
+
+class Sweeper:
+    """Runs applications over grids with baseline caching."""
+
+    def __init__(self, scale: str = "bench", seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._baseline_cache: Dict[Tuple[str, str, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def run_on(self, app: str, variant: str, topo: Topology) -> RunResult:
+        config = default_config(app, self.scale)
+        return run_app(app, variant, topo, config=config, seed=self.seed)
+
+    def baseline_runtime(self, app: str, variant: str,
+                         num_ranks: int = grids.NUM_RANKS) -> float:
+        key = (app, variant, num_ranks)
+        if key not in self._baseline_cache:
+            result = self.run_on(app, variant, grids.baseline(num_ranks))
+            self._baseline_cache[key] = result.runtime
+        return self._baseline_cache[key]
+
+    # ------------------------------------------------------------------
+    def speedup_at(self, app: str, variant: str, bandwidth: float,
+                   latency_ms: float, clusters: int = grids.NUM_CLUSTERS,
+                   cluster_size: int = grids.CLUSTER_SIZE,
+                   wan_shape: str = "full") -> GridPoint:
+        topo = grids.multi_cluster(bandwidth, latency_ms, clusters,
+                                   cluster_size, wan_shape)
+        result = self.run_on(app, variant, topo)
+        base = self.baseline_runtime(app, variant, clusters * cluster_size)
+        return GridPoint(
+            bandwidth_mbyte_s=bandwidth,
+            latency_ms=latency_ms,
+            runtime=result.runtime,
+            relative_speedup_pct=100.0 * base / result.runtime,
+        )
+
+    def speedup_grid(self, app: str, variant: str,
+                     bandwidths=grids.BANDWIDTHS_MBYTE_S,
+                     latencies=grids.LATENCIES_MS) -> SpeedupGrid:
+        """The full Figure-3 panel for one application variant."""
+        grid = SpeedupGrid(app=app, variant=variant,
+                           baseline_runtime=self.baseline_runtime(app, variant))
+        for lat in latencies:
+            for bw in bandwidths:
+                grid.points[(bw, lat)] = self.speedup_at(app, variant, bw, lat)
+        return grid
+
+    # ------------------------------------------------------------------
+    def communication_time_pct(self, app: str, variant: str, bandwidth: float,
+                               latency_ms: float) -> float:
+        """Figure 4's metric: (T_M - T_L) / T_M * 100."""
+        point = self.speedup_at(app, variant, bandwidth, latency_ms)
+        base = self.baseline_runtime(app, variant)
+        return max(0.0, 100.0 * (point.runtime - base) / point.runtime)

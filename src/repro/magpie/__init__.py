@@ -1,0 +1,6 @@
+"""MagPIe: wide-area-aware MPI collectives and their flat baselines."""
+
+from . import algorithms, flat, hier
+from .interface import COLLECTIVE_NAMES, get_impl, invoke
+
+__all__ = ["algorithms", "flat", "hier", "COLLECTIVE_NAMES", "get_impl", "invoke"]

@@ -1,0 +1,180 @@
+"""Classic MPI collective algorithm families, beyond the two defaults.
+
+The flat/hier split of :mod:`repro.magpie` captures the paper's
+comparison, but real MPI implementations choose among several algorithms
+per operation.  This module adds the textbook families so their two-layer
+behaviour can be studied:
+
+- ``ring_allgather``            — Chan/Thakur ring: bandwidth-optimal,
+  p-1 sequential steps (latency-terrible on a WAN).
+- ``recursive_doubling_allreduce`` — log2(p) rounds of pairwise exchange
+  (the MPICH default for small messages).
+- ``rabenseifner_allreduce``    — reduce-scatter + allgather: halves the
+  bandwidth of large-message allreduce.
+- ``pairwise_alltoall``         — p-1 balanced exchange rounds (the
+  MPICH large-message alltoall).
+- ``scatter_allgather_bcast``   — van de Geijn large-message broadcast:
+  scatter the blocks, then ring-allgather them.
+
+All operate over the full machine and match the semantics of the
+corresponding :mod:`repro.magpie.flat` operations (tests enforce it).
+Power-of-two rank counts are required where the textbook algorithm
+assumes them (recursive doubling, Rabenseifner).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Sequence
+
+from ..runtime.context import Context
+
+
+def _require_power_of_two(p: int, name: str) -> None:
+    if p & (p - 1):
+        raise ValueError(f"{name} requires a power-of-two rank count, got {p}")
+
+
+def ring_allgather(ctx: Context, op_id: Any, size: int, value: Any) -> Generator:
+    """Ring allgather: each step passes the neighbour the newest block.
+
+    Bytes per rank: (p-1) * size — optimal.  Steps: p-1 — each paying a
+    link latency, which is what kills it across a WAN.
+    """
+    p = ctx.num_ranks
+    rank = ctx.rank
+    tag = ("ring-ag", op_id)
+    items: List[Any] = [None] * p
+    items[rank] = value
+    right = (rank + 1) % p
+    for step in range(p - 1):
+        send_idx = (rank - step) % p
+        recv_idx = (rank - step - 1) % p
+        yield ctx.send(right, size, (tag, send_idx), items[send_idx])
+        msg = yield ctx.recv((tag, recv_idx))
+        items[recv_idx] = msg.payload
+    return items
+
+
+def recursive_doubling_allreduce(ctx: Context, op_id: Any, size: int,
+                                 value: Any,
+                                 op: Callable[[Any, Any], Any]) -> Generator:
+    """log2(p) pairwise exchange rounds; both sides end with the total.
+
+    Combination order differs per rank, so ``op`` should be associative
+    and commutative (as MPI requires for user ops used this way).
+    """
+    p = ctx.num_ranks
+    _require_power_of_two(p, "recursive doubling")
+    rank = ctx.rank
+    acc = value
+    mask = 1
+    round_id = 0
+    while mask < p:
+        partner = rank ^ mask
+        yield ctx.send(partner, size, ("rd-ar", op_id, round_id), acc)
+        msg = yield ctx.recv(("rd-ar", op_id, round_id))
+        acc = op(acc, msg.payload) if rank < partner else op(msg.payload, acc)
+        mask <<= 1
+        round_id += 1
+    return acc
+
+
+def rabenseifner_allreduce(ctx: Context, op_id: Any, size: int,
+                           values: Sequence[Any],
+                           op: Callable[[Any, Any], Any]) -> Generator:
+    """Reduce-scatter then allgather over a p-element vector.
+
+    ``values`` is this rank's contribution vector (one block per rank);
+    returns the fully reduced vector.  Total bytes per rank approach
+    2 * size * (p-1)/p per block — half of recursive doubling for large
+    vectors.
+    """
+    p = ctx.num_ranks
+    _require_power_of_two(p, "Rabenseifner")
+    rank = ctx.rank
+    blocks = list(values)
+    if len(blocks) != p:
+        raise ValueError(f"need one block per rank ({p}), got {len(blocks)}")
+
+    # Phase 1: reduce-scatter by recursive halving.  After round k each
+    # rank is responsible for a 1/2^k slice of the blocks.
+    lo, hi = 0, p  # responsibility range [lo, hi)
+    mask = p >> 1
+    round_id = 0
+    while mask:
+        partner = rank ^ mask
+        mid = (lo + hi) // 2
+        if rank < partner:
+            send_range, keep_range = (mid, hi), (lo, mid)
+        else:
+            send_range, keep_range = (lo, mid), (mid, hi)
+        payload = {i: blocks[i] for i in range(*send_range)}
+        nbytes = size * max(1, len(payload))
+        yield ctx.send(partner, nbytes, ("rab-rs", op_id, round_id), payload)
+        msg = yield ctx.recv(("rab-rs", op_id, round_id))
+        for i, block in msg.payload.items():
+            blocks[i] = op(blocks[i], block) if rank < partner \
+                else op(block, blocks[i])
+        lo, hi = keep_range
+        mask >>= 1
+        round_id += 1
+
+    # Phase 2: allgather the reduced blocks by recursive doubling.
+    mask = 1
+    have = {i: blocks[i] for i in range(lo, hi)}
+    while mask < p:
+        partner = rank ^ mask
+        nbytes = size * len(have)
+        yield ctx.send(partner, nbytes, ("rab-ag", op_id, mask), dict(have))
+        msg = yield ctx.recv(("rab-ag", op_id, mask))
+        have.update(msg.payload)
+        mask <<= 1
+    return [have[i] for i in range(p)]
+
+
+def pairwise_alltoall(ctx: Context, op_id: Any, size: int,
+                      values: Sequence[Any]) -> Generator:
+    """p-1 balanced exchange rounds: in round k, swap with rank ^ k
+    (power of two) — every link carries exactly one message per round."""
+    p = ctx.num_ranks
+    _require_power_of_two(p, "pairwise exchange")
+    rank = ctx.rank
+    received: List[Any] = [None] * p
+    received[rank] = values[rank]
+    for k in range(1, p):
+        partner = rank ^ k
+        yield ctx.send(partner, size, ("pw-a2a", op_id, k), values[partner])
+        msg = yield ctx.recv(("pw-a2a", op_id, k))
+        received[partner] = msg.payload
+    return received
+
+
+def scatter_allgather_bcast(ctx: Context, op_id: Any, root: int, size: int,
+                            value: Any = None) -> Generator:
+    """van de Geijn broadcast: scatter p blocks, then ring-allgather.
+
+    For a ``size``-byte payload the root sends ~size bytes total instead
+    of size * log(p): the large-message broadcast of choice on flat
+    networks.  The payload is modelled as p equal blocks.
+    """
+    p = ctx.num_ranks
+    rank = ctx.rank
+    block = max(1, size // p)
+    # Scatter: root sends block i to rank (root + i) % p.
+    if rank == root:
+        blocks = {i: ("blk", i, value) for i in range(p)}
+        for i in range(p):
+            dst = (root + i) % p
+            if dst != root:
+                yield ctx.send(dst, block, ("vdg-sc", op_id), blocks[i])
+        mine = blocks[0]
+    else:
+        msg = yield ctx.recv(("vdg-sc", op_id))
+        mine = msg.payload
+    # Ring allgather of the p blocks.
+    items = yield from ring_allgather(ctx, ("vdg-ag", op_id), block, mine)
+    # Reassembly: every rank now holds all blocks; the value rides in each.
+    for item in items:
+        if item is not None:
+            return item[2]
+    return None

@@ -1,0 +1,154 @@
+"""Topology-unaware collective operations (MPICH-like baselines).
+
+These are the algorithms a conventional MPI implementation uses on a flat
+network: binomial trees over rank order, linear gathers, direct all-to-all
+exchanges, chain scans.  On a two-layer interconnect they route many
+tree/chain edges over the slow WAN links, which is exactly the behaviour
+MagPIe (see :mod:`repro.magpie.hier`) eliminates.
+
+All functions are generators: drive them with ``yield from``.  Every rank
+of the machine must call the same operation with the same ``op_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..runtime.barrier import flat_barrier
+from ..runtime.bcast import flat_bcast
+from ..runtime.context import CONTROL_BYTES, Context
+from ..runtime.reduction import binomial_reduce
+
+
+def barrier(ctx: Context, op_id: Any) -> Generator:
+    yield from flat_barrier(ctx, ("mpi-bar", op_id))
+
+
+def bcast(ctx: Context, op_id: Any, root: int, size: int,
+          value: Any = None) -> Generator:
+    result = yield from flat_bcast(ctx, ("mpi-bc", op_id), root, size, value)
+    return result
+
+
+def gatherv(ctx: Context, op_id: Any, root: int, sizes: Sequence[int],
+            value: Any) -> Generator:
+    """Linear gather: every rank sends its item straight to ``root``.
+
+    Returns the rank-indexed list of items at the root, None elsewhere.
+    """
+    tag = ("mpi-ga", op_id)
+    if ctx.rank == root:
+        items: List[Any] = [None] * ctx.num_ranks
+        items[root] = value
+        for _ in range(ctx.num_ranks - 1):
+            msg = yield ctx.recv(tag)
+            items[msg.src] = msg.payload
+        return items
+    yield ctx.send(root, sizes[ctx.rank], tag, value)
+    return None
+
+
+def gather(ctx: Context, op_id: Any, root: int, size: int, value: Any) -> Generator:
+    result = yield from gatherv(ctx, op_id, root, [size] * ctx.num_ranks, value)
+    return result
+
+
+def scatterv(ctx: Context, op_id: Any, root: int, sizes: Sequence[int],
+             values: Optional[Sequence[Any]] = None) -> Generator:
+    """Linear scatter: root sends each rank its chunk directly."""
+    tag = ("mpi-sc", op_id)
+    if ctx.rank == root:
+        assert values is not None, "root must supply the values to scatter"
+        for dst in ctx.topology.ranks():
+            if dst != root:
+                yield ctx.send(dst, sizes[dst], tag, values[dst])
+        return values[root]
+    msg = yield ctx.recv(tag)
+    return msg.payload
+
+
+def scatter(ctx: Context, op_id: Any, root: int, size: int,
+            values: Optional[Sequence[Any]] = None) -> Generator:
+    result = yield from scatterv(ctx, op_id, root, [size] * ctx.num_ranks, values)
+    return result
+
+
+def allgatherv(ctx: Context, op_id: Any, sizes: Sequence[int], value: Any) -> Generator:
+    """Gather to rank 0, then broadcast the assembled vector."""
+    items = yield from gatherv(ctx, ("ag", op_id), 0, sizes, value)
+    total = sum(sizes)
+    items = yield from flat_bcast(ctx, ("mpi-ag", op_id), 0, total, items)
+    return items
+
+
+def allgather(ctx: Context, op_id: Any, size: int, value: Any) -> Generator:
+    result = yield from allgatherv(ctx, op_id, [size] * ctx.num_ranks, value)
+    return result
+
+
+def alltoallv(ctx: Context, op_id: Any, sizes: Sequence[int],
+              values: Sequence[Any]) -> Generator:
+    """Direct exchange: p*(p-1) point-to-point messages.
+
+    ``values[d]`` / ``sizes[d]`` is this rank's data for destination ``d``.
+    Returns the list indexed by source rank.
+    """
+    tag = ("mpi-a2a", op_id)
+    for dst in ctx.topology.ranks():
+        if dst != ctx.rank:
+            yield ctx.send(dst, sizes[dst], tag, values[dst])
+    received: List[Any] = [None] * ctx.num_ranks
+    received[ctx.rank] = values[ctx.rank]
+    for _ in range(ctx.num_ranks - 1):
+        msg = yield ctx.recv(tag)
+        received[msg.src] = msg.payload
+    return received
+
+
+def alltoall(ctx: Context, op_id: Any, size: int, values: Sequence[Any]) -> Generator:
+    result = yield from alltoallv(ctx, op_id, [size] * ctx.num_ranks, values)
+    return result
+
+
+def reduce(ctx: Context, op_id: Any, root: int, size: int, value: Any,
+           op: Callable[[Any, Any], Any]) -> Generator:
+    result = yield from binomial_reduce(ctx, ("mpi-red", op_id), root, size, value, op)
+    return result
+
+
+def allreduce(ctx: Context, op_id: Any, size: int, value: Any,
+              op: Callable[[Any, Any], Any]) -> Generator:
+    result = yield from binomial_reduce(ctx, ("mpi-ar", op_id), 0, size, value, op)
+    result = yield from flat_bcast(ctx, ("mpi-arb", op_id), 0, size, result)
+    return result
+
+
+def reduce_scatter(ctx: Context, op_id: Any, size: int, values: Sequence[Any],
+                   op: Callable[[Any, Any], Any]) -> Generator:
+    """Element-wise reduce of per-rank vectors, then scatter element i to rank i.
+
+    ``values`` is this rank's contribution vector (one entry per rank);
+    returns the fully reduced entry for this rank.
+    """
+    def vec_op(a: Sequence[Any], b: Sequence[Any]) -> List[Any]:
+        return [op(x, y) for x, y in zip(a, b)]
+
+    p = ctx.num_ranks
+    reduced = yield from binomial_reduce(
+        ctx, ("mpi-rs", op_id), 0, size * p, list(values), vec_op
+    )
+    mine = yield from scatterv(ctx, ("rs", op_id), 0, [size] * p, reduced)
+    return mine
+
+
+def scan(ctx: Context, op_id: Any, size: int, value: Any,
+         op: Callable[[Any, Any], Any]) -> Generator:
+    """Inclusive prefix scan via a rank-order chain (topology-unaware)."""
+    tag = ("mpi-scan", op_id)
+    acc = value
+    if ctx.rank > 0:
+        msg = yield ctx.recv(tag)
+        acc = op(msg.payload, value)
+    if ctx.rank < ctx.num_ranks - 1:
+        yield ctx.send(ctx.rank + 1, size, tag, acc)
+    return acc

@@ -1,0 +1,298 @@
+"""MagPIe: wide-area-optimal collective operations.
+
+The MagPIe library (Kielmann et al., PPoPP'99; Section 6 of the paper)
+re-implements MPI's fourteen collectives so that on a two-layer
+interconnect
+
+1. every data item crosses each wide-area link **at most once**, and
+2. the completion time is on the order of **one** wide-area latency
+   (no WAN chains or WAN trees deeper than one).
+
+The algorithms here follow that recipe: combine inside the cluster on the
+fast network, exchange once between cluster coordinators, fan out locally.
+Signatures mirror :mod:`repro.magpie.flat` exactly so the benchmark
+harness can swap implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..runtime.barrier import tree_barrier
+from ..runtime.bcast import hier_bcast
+from ..runtime.context import CONTROL_BYTES, Context
+from ..runtime.reduction import hier_reduce
+
+
+def barrier(ctx: Context, op_id: Any) -> Generator:
+    yield from tree_barrier(ctx, ("mag-bar", op_id))
+
+
+def bcast(ctx: Context, op_id: Any, root: int, size: int,
+          value: Any = None) -> Generator:
+    result = yield from hier_bcast(ctx, ("mag-bc", op_id), root, size, value)
+    return result
+
+
+def _entry_rank(ctx: Context, root: int) -> int:
+    """Cluster coordinator: the root itself in its own cluster, else the leader."""
+    topo = ctx.topology
+    if ctx.cluster == topo.cluster_of(root):
+        return root
+    return topo.cluster_leader(ctx.cluster)
+
+
+def gatherv(ctx: Context, op_id: Any, root: int, sizes: Sequence[int],
+            value: Any) -> Generator:
+    """Two-level gather: members -> coordinator, one WAN message per cluster."""
+    topo = ctx.topology
+    tag_loc = ("mag-ga-l", op_id)
+    tag_wan = ("mag-ga-w", op_id)
+    coord = _entry_rank(ctx, root)
+
+    if ctx.rank != coord:
+        yield ctx.send(coord, sizes[ctx.rank], tag_loc, value)
+        return None
+
+    members = list(topo.cluster_members(ctx.cluster))
+    cluster_items = {ctx.rank: value}
+    for _ in range(len(members) - 1):
+        msg = yield ctx.recv(tag_loc)
+        cluster_items[msg.src] = msg.payload
+
+    if ctx.rank == root:
+        items: List[Any] = [None] * ctx.num_ranks
+        for r, v in cluster_items.items():
+            items[r] = v
+        for _ in range(topo.num_clusters - 1):
+            msg = yield ctx.recv(tag_wan)
+            for r, v in msg.payload.items():
+                items[r] = v
+        return items
+
+    wire = sum(sizes[r] for r in members)
+    yield ctx.send(root, wire, tag_wan, cluster_items)
+    return None
+
+
+def gather(ctx: Context, op_id: Any, root: int, size: int, value: Any) -> Generator:
+    result = yield from gatherv(ctx, op_id, root, [size] * ctx.num_ranks, value)
+    return result
+
+
+def scatterv(ctx: Context, op_id: Any, root: int, sizes: Sequence[int],
+             values: Optional[Sequence[Any]] = None) -> Generator:
+    """Two-level scatter: one WAN message per remote cluster, local fan-out."""
+    topo = ctx.topology
+    tag_loc = ("mag-sc-l", op_id)
+    tag_wan = ("mag-sc-w", op_id)
+    coord = _entry_rank(ctx, root)
+
+    if ctx.rank == root:
+        assert values is not None, "root must supply the values to scatter"
+        for cid in topo.clusters():
+            members = list(topo.cluster_members(cid))
+            if cid == ctx.cluster:
+                for r in members:
+                    if r != root:
+                        yield ctx.send(r, sizes[r], tag_loc, values[r])
+            else:
+                chunk = {r: values[r] for r in members}
+                wire = sum(sizes[r] for r in members)
+                yield ctx.send(topo.cluster_leader(cid), wire, tag_wan, chunk)
+        return values[root]
+
+    if ctx.rank == coord:
+        msg = yield ctx.recv(tag_wan)
+        chunk = msg.payload
+        for r, v in sorted(chunk.items()):
+            if r != ctx.rank:
+                yield ctx.send(r, sizes[r], tag_loc, v)
+        return chunk[ctx.rank]
+
+    msg = yield ctx.recv(tag_loc)
+    return msg.payload
+
+
+def scatter(ctx: Context, op_id: Any, root: int, size: int,
+            values: Optional[Sequence[Any]] = None) -> Generator:
+    result = yield from scatterv(ctx, op_id, root, [size] * ctx.num_ranks, values)
+    return result
+
+
+def allgatherv(ctx: Context, op_id: Any, sizes: Sequence[int], value: Any) -> Generator:
+    """Hierarchical gather to rank 0, then hierarchical broadcast."""
+    items = yield from gatherv(ctx, ("ag", op_id), 0, sizes, value)
+    total = sum(sizes)
+    items = yield from hier_bcast(ctx, ("mag-ag", op_id), 0, total, items)
+    return items
+
+
+def allgather(ctx: Context, op_id: Any, size: int, value: Any) -> Generator:
+    result = yield from allgatherv(ctx, op_id, [size] * ctx.num_ranks, value)
+    return result
+
+
+def alltoallv(ctx: Context, op_id: Any, sizes: Sequence[int],
+              values: Sequence[Any]) -> Generator:
+    """Cluster-combined all-to-all.
+
+    Intra-cluster data goes directly.  Data for remote clusters is combined
+    at the local coordinator, exchanged coordinator-to-coordinator (one WAN
+    message per ordered cluster pair — the minimum possible), and
+    distributed at the far side.
+    """
+    topo = ctx.topology
+    tag_direct = ("mag-a2a-d", op_id)
+    tag_submit = ("mag-a2a-s", op_id)
+    tag_wan = ("mag-a2a-w", op_id)
+    tag_deliver = ("mag-a2a-f", op_id)
+    leader = topo.cluster_leader(ctx.cluster)
+    members = list(topo.cluster_members(ctx.cluster))
+    num_remote = topo.num_clusters - 1
+
+    # Phase 1: direct intra-cluster sends; remote-destined data to leader.
+    for dst in members:
+        if dst != ctx.rank:
+            yield ctx.send(dst, sizes[dst], tag_direct, values[dst])
+    if num_remote:
+        remote = {dst: values[dst] for dst in topo.ranks()
+                  if topo.cluster_of(dst) != ctx.cluster}
+        wire = sum(sizes[dst] for dst in remote)
+        if ctx.rank != leader:
+            yield ctx.send(leader, wire, tag_submit, remote)
+
+    received: List[Any] = [None] * ctx.num_ranks
+    received[ctx.rank] = values[ctx.rank]
+
+    # Phase 2 (leader only): combine and exchange between coordinators.
+    if ctx.rank == leader and num_remote:
+        # Collect the remote-destined data of every member (own included).
+        per_dst = {dst: {} for dst in topo.ranks()
+                   if topo.cluster_of(dst) != ctx.cluster}
+        for dst, v in ((d, values[d]) for d in per_dst):
+            per_dst[dst][ctx.rank] = v
+        for _ in range(len(members) - 1):
+            msg = yield ctx.recv(tag_submit)
+            for dst, v in msg.payload.items():
+                per_dst[dst][msg.src] = v
+        for cid in topo.clusters():
+            if cid == ctx.cluster:
+                continue
+            bundle = {dst: per_dst[dst] for dst in topo.cluster_members(cid)}
+            wire = sum(sizes[dst] * 1 for dst in bundle) * len(members)
+            yield ctx.send(topo.cluster_leader(cid), wire, tag_wan, bundle)
+        # Receive bundles from every remote coordinator and deliver locally.
+        for _ in range(num_remote):
+            msg = yield ctx.recv(tag_wan)
+            bundle = msg.payload
+            for dst in sorted(bundle):
+                contributions = bundle[dst]
+                if dst == ctx.rank:
+                    for src, v in contributions.items():
+                        received[src] = v
+                else:
+                    wire = sum(sizes[dst] for _ in contributions)
+                    yield ctx.send(dst, wire, tag_deliver, contributions)
+
+    # Phase 3: collect everything addressed to me.
+    expect_local = len(members) - 1
+    expect_deliver = num_remote if ctx.rank != leader else 0
+    for _ in range(expect_local):
+        msg = yield ctx.recv(tag_direct)
+        received[msg.src] = msg.payload
+    for _ in range(expect_deliver):
+        msg = yield ctx.recv(tag_deliver)
+        for src, v in msg.payload.items():
+            received[src] = v
+    return received
+
+
+def alltoall(ctx: Context, op_id: Any, size: int, values: Sequence[Any]) -> Generator:
+    result = yield from alltoallv(ctx, op_id, [size] * ctx.num_ranks, values)
+    return result
+
+
+def reduce(ctx: Context, op_id: Any, root: int, size: int, value: Any,
+           op: Callable[[Any, Any], Any]) -> Generator:
+    result = yield from hier_reduce(ctx, ("mag-red", op_id), root, size, value, op)
+    return result
+
+
+def allreduce(ctx: Context, op_id: Any, size: int, value: Any,
+              op: Callable[[Any, Any], Any]) -> Generator:
+    result = yield from hier_reduce(ctx, ("mag-ar", op_id), 0, size, value, op)
+    result = yield from hier_bcast(ctx, ("mag-arb", op_id), 0, size, result)
+    return result
+
+
+def reduce_scatter(ctx: Context, op_id: Any, size: int, values: Sequence[Any],
+                   op: Callable[[Any, Any], Any]) -> Generator:
+    """Hierarchical reduce of the vector, then hierarchical scatter."""
+    def vec_op(a: Sequence[Any], b: Sequence[Any]) -> List[Any]:
+        return [op(x, y) for x, y in zip(a, b)]
+
+    p = ctx.num_ranks
+    reduced = yield from hier_reduce(
+        ctx, ("mag-rs", op_id), 0, size * p, list(values), vec_op
+    )
+    mine = yield from scatterv(ctx, ("rs", op_id), 0, [size] * p, reduced)
+    return mine
+
+
+def scan(ctx: Context, op_id: Any, size: int, value: Any,
+         op: Callable[[Any, Any], Any]) -> Generator:
+    """Cluster-aware inclusive scan.
+
+    Local scan inside each cluster, a scan over per-cluster totals between
+    coordinators (C-1 WAN hops instead of p-1), then a local correction
+    broadcast — each value crosses the WAN once.
+    """
+    topo = ctx.topology
+    tag_chain = ("mag-scan-c", op_id)
+    tag_wan = ("mag-scan-w", op_id)
+    tag_fix = ("mag-scan-f", op_id)
+    members = list(topo.cluster_members(ctx.cluster))
+    leader = topo.cluster_leader(ctx.cluster)
+    last = members[-1]
+
+    # Local inclusive chain scan (fast network).
+    acc = value
+    if ctx.rank != members[0]:
+        msg = yield ctx.recv(tag_chain)
+        acc = op(msg.payload, value)
+    if ctx.rank != last:
+        yield ctx.send(ctx.rank + 1, size, tag_chain, acc)
+
+    # The last member owns the cluster total; pass it to the leader for the
+    # inter-cluster chain.
+    if ctx.rank == last and ctx.rank != leader:
+        yield ctx.send(leader, size, tag_wan, acc)
+    offset = None
+    if ctx.rank == leader:
+        cluster_total = acc if leader == last else None
+        if cluster_total is None:
+            msg = yield ctx.recv(tag_wan)
+            cluster_total = msg.payload
+        if ctx.cluster > 0:
+            prev_leader = topo.cluster_leader(ctx.cluster - 1)
+            msg = yield ctx.recv(("mag-scan-x", op_id))
+            offset = msg.payload
+            running = op(offset, cluster_total)
+        else:
+            offset = None
+            running = cluster_total
+        if ctx.cluster < topo.num_clusters - 1:
+            next_leader = topo.cluster_leader(ctx.cluster + 1)
+            yield ctx.send(next_leader, size, ("mag-scan-x", op_id), running)
+        # Broadcast the offset to local members.
+        for r in members:
+            if r != leader:
+                yield ctx.send(r, size, tag_fix, offset)
+    else:
+        msg = yield ctx.recv(tag_fix)
+        offset = msg.payload
+
+    if offset is not None:
+        acc = op(offset, acc)
+    return acc

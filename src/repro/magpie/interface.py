@@ -1,0 +1,111 @@
+"""Common interface over the flat (MPICH-like) and MagPIe collective sets.
+
+``get_impl("flat")`` / ``get_impl("magpie")`` return modules exposing the
+same fourteen generator functions, so callers can parameterize over the
+implementation::
+
+    coll = get_impl("magpie")
+    result = yield from coll.allreduce(ctx, op_id, size, value, op)
+
+``invoke`` runs any collective with a synthetic-but-valid argument set of
+a given payload size — the benchmark harness uses it to time all fourteen
+operations uniformly.
+"""
+
+from __future__ import annotations
+
+import operator
+from types import ModuleType
+from typing import Any, Generator
+
+from ..runtime.context import Context
+from . import flat as _flat
+from . import hier as _hier
+
+#: The fourteen MPI-1 collective operations MagPIe reimplements.
+COLLECTIVE_NAMES = (
+    "barrier",
+    "bcast",
+    "gather",
+    "gatherv",
+    "scatter",
+    "scatterv",
+    "allgather",
+    "allgatherv",
+    "alltoall",
+    "alltoallv",
+    "reduce",
+    "allreduce",
+    "reduce_scatter",
+    "scan",
+)
+
+_IMPLS = {
+    "flat": _flat,
+    "mpich": _flat,
+    "magpie": _hier,
+    "hier": _hier,
+}
+
+
+def get_impl(name: str) -> ModuleType:
+    """Return the collective implementation module for ``name``."""
+    try:
+        return _IMPLS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown collectives implementation {name!r}; "
+            f"choose from {sorted(set(_IMPLS))}"
+        ) from None
+
+
+def invoke(ctx: Context, impl: ModuleType, name: str, op_id: Any,
+           size: int, root: int = 0) -> Generator:
+    """Run collective ``name`` once with representative arguments.
+
+    ``size`` is the per-item payload size in bytes.  Returns whatever the
+    operation returns on this rank.
+    """
+    p = ctx.num_ranks
+    add = operator.add
+    if name == "barrier":
+        result = yield from impl.barrier(ctx, op_id)
+    elif name == "bcast":
+        value = {"data": op_id} if ctx.rank == root else None
+        result = yield from impl.bcast(ctx, op_id, root, size, value)
+    elif name == "gather":
+        result = yield from impl.gather(ctx, op_id, root, size, ctx.rank)
+    elif name == "gatherv":
+        sizes = [size * (1 + r % 3) for r in range(p)]
+        result = yield from impl.gatherv(ctx, op_id, root, sizes, ctx.rank)
+    elif name == "scatter":
+        values = list(range(p)) if ctx.rank == root else None
+        result = yield from impl.scatter(ctx, op_id, root, size, values)
+    elif name == "scatterv":
+        sizes = [size * (1 + r % 3) for r in range(p)]
+        values = list(range(p)) if ctx.rank == root else None
+        result = yield from impl.scatterv(ctx, op_id, root, sizes, values)
+    elif name == "allgather":
+        result = yield from impl.allgather(ctx, op_id, size, ctx.rank)
+    elif name == "allgatherv":
+        sizes = [size * (1 + r % 3) for r in range(p)]
+        result = yield from impl.allgatherv(ctx, op_id, sizes, ctx.rank)
+    elif name == "alltoall":
+        values = [ctx.rank * 1000 + d for d in range(p)]
+        result = yield from impl.alltoall(ctx, op_id, size, values)
+    elif name == "alltoallv":
+        sizes = [size * (1 + d % 3) for d in range(p)]
+        values = [ctx.rank * 1000 + d for d in range(p)]
+        result = yield from impl.alltoallv(ctx, op_id, sizes, values)
+    elif name == "reduce":
+        result = yield from impl.reduce(ctx, op_id, root, size, ctx.rank + 1, add)
+    elif name == "allreduce":
+        result = yield from impl.allreduce(ctx, op_id, size, ctx.rank + 1, add)
+    elif name == "reduce_scatter":
+        values = [ctx.rank + d for d in range(p)]
+        result = yield from impl.reduce_scatter(ctx, op_id, size, values, add)
+    elif name == "scan":
+        result = yield from impl.scan(ctx, op_id, size, ctx.rank + 1, add)
+    else:
+        raise ValueError(f"unknown collective {name!r}")
+    return result

@@ -1,0 +1,5 @@
+"""MPI-flavoured programming interface over the simulated machine."""
+
+from .comm import ANY_SOURCE, Communicator
+
+__all__ = ["ANY_SOURCE", "Communicator"]

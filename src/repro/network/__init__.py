@@ -1,0 +1,39 @@
+"""Two-layer interconnect model: link specs, topology, routing, stats."""
+
+from .link import Link, LinkStats
+from .linkspec import (
+    MBYTE,
+    MS,
+    US,
+    LinkSpec,
+    das_wan_default,
+    das_wan_production,
+    myrinet,
+    wan,
+)
+from .message import Message
+from .router import Router
+from .stats import TrafficStats
+from .variability import LinkNoise, Variability
+from .topology import Topology, das_topology, single_cluster
+
+__all__ = [
+    "Link",
+    "LinkStats",
+    "LinkSpec",
+    "MBYTE",
+    "MS",
+    "US",
+    "Message",
+    "Router",
+    "TrafficStats",
+    "Variability",
+    "LinkNoise",
+    "Topology",
+    "das_topology",
+    "das_wan_default",
+    "das_wan_production",
+    "myrinet",
+    "single_cluster",
+    "wan",
+]

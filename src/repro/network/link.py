@@ -1,0 +1,106 @@
+"""FIFO bandwidth-serialized link resources.
+
+A :class:`Link` models one simplex channel: messages serialize onto the
+wire in arrival order at ``size / bandwidth`` seconds each, then propagate
+for ``latency`` seconds.  This is the same first-order model the paper's
+delay loops implement in the DAS gateways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .linkspec import LinkSpec
+
+
+@dataclass
+class LinkStats:
+    messages: int = 0
+    bytes: int = 0
+    busy_time: float = 0.0
+    queue_time: float = 0.0  # total time messages waited for the wire
+    last_free: float = 0.0
+
+
+class SerialResource:
+    """A FIFO resource charging a fixed per-use service time.
+
+    Models the gateway machine's per-message processing (TCP stack): uses
+    queue behind each other, so a flood of tiny messages saturates the
+    gateway even when the wire itself is idle.
+    """
+
+    __slots__ = ("name", "service_time", "_next_free", "uses", "busy_time")
+
+    def __init__(self, name: str, service_time: float) -> None:
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        self.name = name
+        self.service_time = service_time
+        self._next_free = 0.0
+        self.uses = 0
+        self.busy_time = 0.0
+
+    def reserve(self, ready_time: float) -> float:
+        """Serve one request arriving at ``ready_time``; returns completion."""
+        start = max(ready_time, self._next_free)
+        end = start + self.service_time
+        self._next_free = end
+        self.uses += 1
+        self.busy_time += self.service_time
+        return end
+
+
+class Link:
+    """One simplex FIFO channel with bandwidth serialization.
+
+    ``transfer(ready_time, size)`` returns the absolute delivery time at
+    the far end and advances the wire-occupancy clock.  The model is
+    cut-through at message granularity: queueing (head-of-line blocking),
+    serialization and propagation are modelled; per-packet pipelining is
+    not, matching the message-level measurements in the paper.
+    """
+
+    __slots__ = ("name", "spec", "_next_free", "stats", "noise")
+
+    def __init__(self, name: str, spec: LinkSpec, noise=None) -> None:
+        self.name = name
+        self.spec = spec
+        self._next_free = 0.0
+        self.stats = LinkStats()
+        #: optional :class:`~repro.network.variability.LinkNoise` sampler
+        self.noise = noise
+
+    def transfer(self, ready_time: float, size: int) -> float:
+        """Occupy the wire for ``size`` bytes starting no earlier than
+        ``ready_time``; return the delivery time at the receiver."""
+        if size < 0:
+            raise ValueError(f"negative transfer size {size}")
+        start = max(ready_time, self._next_free)
+        duration = self.spec.transfer_time(size)
+        latency = self.spec.latency
+        if self.noise is not None:
+            duration /= self.noise.bandwidth_factor(start)
+            latency *= self.noise.latency_factor()
+        end = start + duration
+        self._next_free = end
+        st = self.stats
+        st.messages += 1
+        st.bytes += size
+        st.busy_time += duration
+        st.queue_time += start - ready_time
+        st.last_free = end
+        return end + latency
+
+    def next_free_at(self) -> float:
+        """Earliest time a new transfer could start serializing."""
+        return self._next_free
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of [0, horizon] the wire spent serializing bytes."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, msgs={self.stats.messages}, bytes={self.stats.bytes})"

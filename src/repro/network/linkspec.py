@@ -1,0 +1,93 @@
+"""Static descriptions of link classes (Myrinet, ATM WAN).
+
+All times are seconds; all bandwidths are bytes/second.  The defaults are
+the application-level figures the paper reports for the DAS:
+
+- Myrinet: 20 us one-way latency, 50 MByte/s bandwidth.
+- ATM WAN: swept over 0.4–300 ms and 0.03–6.3 MByte/s (Figure 3 grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MBYTE = 1_000_000.0
+MS = 1e-3
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Timing parameters of one class of link.
+
+    ``send_overhead`` / ``recv_overhead`` are host CPU costs per message
+    (the LogP ``o`` parameter); ``latency`` is the one-way wire latency
+    (LogP ``L``); ``bandwidth`` caps the serialization rate (LogP ``g``
+    expressed per byte).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    send_overhead: float = 5e-6
+    recv_overhead: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"negative latency {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"non-positive bandwidth {self.bandwidth}")
+        if self.send_overhead < 0 or self.recv_overhead < 0:
+            raise ValueError("negative overhead")
+
+    def transfer_time(self, size: int) -> float:
+        """Pure serialization time of ``size`` bytes on this link class."""
+        return size / self.bandwidth
+
+    def one_way_time(self, size: int) -> float:
+        """Uncontended one-way time for a ``size``-byte message."""
+        return self.latency + self.transfer_time(size)
+
+
+def myrinet(
+    latency: float = 20 * US,
+    bandwidth: float = 50 * MBYTE,
+    send_overhead: float = 5 * US,
+    recv_overhead: float = 5 * US,
+) -> LinkSpec:
+    """The paper's intra-cluster network (application-level figures)."""
+    return LinkSpec("myrinet", latency, bandwidth, send_overhead, recv_overhead)
+
+
+def wan(
+    latency_ms: float,
+    bandwidth_mbyte_s: float,
+    send_overhead: float = 100 * US,
+    recv_overhead: float = 100 * US,
+) -> LinkSpec:
+    """An ATM/TCP wide-area link with the paper's knob units.
+
+    The larger per-message overheads reflect the TCP/IP stack the DAS
+    gateways used (versus user-level Fast Messages on Myrinet).
+    """
+    return LinkSpec(
+        f"wan-{latency_ms}ms-{bandwidth_mbyte_s}MBs",
+        latency_ms * MS,
+        bandwidth_mbyte_s * MBYTE,
+        send_overhead,
+        recv_overhead,
+    )
+
+
+def das_wan_default() -> LinkSpec:
+    """The real (unthrottled local OC3) DAS wide-area link: 0.28 ms / 14 MByte/s...
+
+    ...at TCP application level; the dedicated PVCs ran at 0.55 MByte/s with
+    1.25 ms one-way latency, which is what `das_wan_production` returns.
+    """
+    return wan(0.28, 14.0)
+
+
+def das_wan_production() -> LinkSpec:
+    """The 6 Mbit/s ATM PVCs of the production DAS (0.55 MByte/s TCP)."""
+    return wan(1.25, 0.55)

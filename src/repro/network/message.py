@@ -1,0 +1,40 @@
+"""Message objects carried by the simulated interconnect."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A single application-level message.
+
+    ``size`` is the on-the-wire size in bytes and is what the network
+    charges for; ``payload`` is an arbitrary Python object carried for the
+    receiving process (its in-memory size is irrelevant to timing, which is
+    how the experiments run paper-sized transfers without materializing
+    megabytes of data).
+    """
+
+    src: int
+    dst: int
+    tag: Any
+    size: int
+    payload: Any = None
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    inter_cluster: bool = False
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative message size {self.size}")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end delivery delay experienced by this message."""
+        return self.deliver_time - self.send_time

@@ -1,0 +1,144 @@
+"""Routing and timing of messages through the two-layer interconnect.
+
+The router owns all link resources:
+
+- one egress NIC :class:`~repro.network.link.Link` per rank (Myrinet
+  serialization at the sender);
+- one ingress :class:`Link` per cluster gateway (dispatch of arriving
+  WAN traffic onto the local Myrinet);
+- one simplex WAN :class:`Link` per ordered cluster pair (the DAS WAN is
+  fully connected).
+
+Intra-cluster messages take one NIC hop; inter-cluster messages take
+NIC -> gateway (local hop), then one or more WAN hops (one on the fully
+connected shape; via the hub on a star; around the shorter arc on a
+ring), each with the gateway machine's per-message store-and-forward
+service, and a final local hop contended on the destination gateway's
+egress NIC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..sim.engine import Engine
+
+from .link import Link, SerialResource
+from .variability import LinkNoise
+from .message import Message
+from .stats import TrafficStats
+from .topology import Topology
+
+
+class Router:
+    """Maps (src, dst, size, time) to a delivery time, with contention."""
+
+    def __init__(self, topology: Topology, stats: TrafficStats = None,
+                 seed: int = 0) -> None:
+        self.topology = topology
+        self.stats = stats if stats is not None else TrafficStats(topology.num_clusters)
+        local, wide = topology.local, topology.wide
+
+        def wan_noise(name: str):
+            var = topology.wan_variability
+            if var is not None and var.enabled:
+                return LinkNoise(var, seed, name)
+            return None
+        self._nic: Dict[int, Link] = {
+            rank: Link(f"nic{rank}", local) for rank in topology.ranks()
+        }
+        self._gateway_out: Dict[int, Link] = {
+            cid: Link(f"gw{cid}-egress", local) for cid in topology.clusters()
+        }
+        # One gateway *machine* per cluster: its TCP stack serializes every
+        # WAN message of that cluster (both directions) at a fixed
+        # per-message cost, so tiny-message floods saturate it.
+        self._gateway_cpu: Dict[int, SerialResource] = {
+            cid: SerialResource(f"gw{cid}-cpu", topology.gateway_overhead)
+            for cid in topology.clusters()
+        }
+        self._wan: Dict[Tuple[int, int], Link] = {
+            pair: Link(f"wan{pair[0]}->{pair[1]}", wide,
+                       noise=wan_noise(f"wan{pair[0]}->{pair[1]}"))
+            for pair in topology.wan_pairs()
+        }
+
+    # ------------------------------------------------------------------
+    def route(self, msg: Message, depart_time: float, engine: "Engine",
+              on_deliver: Callable[[Message], None]) -> None:
+        """Carry ``msg`` injected at ``depart_time`` to its destination.
+
+        Shared resources along the path (gateway CPUs, WAN channels) are
+        reserved *when the message reaches them*, by staging the hops
+        through engine events — so contention is resolved in arrival
+        order, not in the order the sends were issued.  ``on_deliver`` is
+        invoked (via the engine) at the delivery time.
+        """
+        topo = self.topology
+        src_cluster = topo.cluster_of(msg.src)
+        dst_cluster = topo.cluster_of(msg.dst)
+        msg.send_time = depart_time
+
+        if src_cluster == dst_cluster:
+            msg.inter_cluster = False
+            self.stats.record_intra(msg.size)
+            # The sender NIC is a per-rank resource fed in send order.
+            deliver = self._nic[msg.src].transfer(depart_time, msg.size)
+            msg.deliver_time = deliver
+            engine.call_at(deliver, lambda: on_deliver(msg))
+            return
+
+        msg.inter_cluster = True
+        self.stats.record_inter(src_cluster, dst_cluster, msg.size)
+        at_gateway = self._nic[msg.src].transfer(depart_time, msg.size)
+        hops = topo.wan_route(src_cluster, dst_cluster)
+
+        def traverse(hop_index: int) -> None:
+            # At the gateway of hops[hop_index][0]; arrival time is `now`.
+            # The gateway machine's TCP stack serves one message at a time;
+            # reserving at arrival time keeps its queue causally ordered.
+            here, nxt = hops[hop_index]
+            ready = self._gateway_cpu[here].reserve(engine.now)
+            at_next = self._wan[(here, nxt)].transfer(ready, msg.size)
+            if hop_index + 1 < len(hops):
+                # Star/ring shapes: store-and-forward at the intermediate
+                # cluster's gateway, then onward.
+                engine.call_at(at_next, lambda: traverse(hop_index + 1))
+            else:
+                engine.call_at(at_next, arrive)
+
+        def arrive() -> None:
+            ready = self._gateway_cpu[dst_cluster].reserve(engine.now)
+            deliver = self._gateway_out[dst_cluster].transfer(ready, msg.size)
+            msg.deliver_time = deliver
+            engine.call_at(deliver, lambda: on_deliver(msg))
+
+        engine.call_at(at_gateway, lambda: traverse(0))
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and reports
+    # ------------------------------------------------------------------
+    def wan_link(self, src_cluster: int, dst_cluster: int) -> Link:
+        return self._wan[(src_cluster, dst_cluster)]
+
+    def nic(self, rank: int) -> Link:
+        return self._nic[rank]
+
+    def gateway_egress(self, cluster: int) -> Link:
+        return self._gateway_out[cluster]
+
+    def gateway_cpu(self, cluster: int) -> SerialResource:
+        return self._gateway_cpu[cluster]
+
+    def uncontended_time(self, src: int, dst: int, size: int) -> float:
+        """Analytic one-way time ignoring queueing — used for sanity checks."""
+        topo = self.topology
+        if topo.same_cluster(src, dst):
+            return topo.local.one_way_time(size)
+        return (
+            topo.local.one_way_time(size)
+            + topo.gateway_overhead
+            + topo.wide.one_way_time(size)
+            + topo.gateway_overhead
+            + topo.local.one_way_time(size)
+        )

@@ -1,0 +1,98 @@
+"""Traffic accounting for the two-layer interconnect.
+
+Collects the quantities the paper reports: total traffic (Table 1),
+inter-cluster volume and message rate per cluster (Figure 1), and the
+raw material for the communication-time percentages of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class LayerCounters:
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+class TrafficStats:
+    """Per-run interconnect traffic accounting."""
+
+    def __init__(self, num_clusters: int) -> None:
+        self.num_clusters = num_clusters
+        self.intra = LayerCounters()
+        self.inter = LayerCounters()
+        # Outbound inter-cluster traffic per source cluster.
+        self.inter_out: List[LayerCounters] = [LayerCounters() for _ in range(num_clusters)]
+        # Traffic matrix between cluster pairs (src_cluster, dst_cluster).
+        self.pair: Dict[Tuple[int, int], LayerCounters] = {}
+        self.start_time = 0.0
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    def record_intra(self, size: int) -> None:
+        self.intra.record(size)
+
+    def record_inter(self, src_cluster: int, dst_cluster: int, size: int) -> None:
+        self.inter.record(size)
+        self.inter_out[src_cluster].record(size)
+        key = (src_cluster, dst_cluster)
+        if key not in self.pair:
+            self.pair[key] = LayerCounters()
+        self.pair[key].record(size)
+
+    def mark_start(self, t: float) -> None:
+        """Exclude start-up phases, as the paper does."""
+        self.start_time = t
+
+    def mark_end(self, t: float) -> None:
+        self.end_time = t
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        return max(self.end_time - self.start_time, 0.0)
+
+    @property
+    def total_messages(self) -> int:
+        return self.intra.messages + self.inter.messages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.intra.bytes + self.inter.bytes
+
+    def total_mbyte_per_s(self) -> float:
+        """Table 1's "Total Traffic" column (MByte/s over the whole run)."""
+        if self.duration == 0:
+            return 0.0
+        return self.total_bytes / 1e6 / self.duration
+
+    def inter_mbyte_per_s_per_cluster(self) -> float:
+        """Figure 1's y-axis: mean inter-cluster MByte/s per source cluster."""
+        if self.duration == 0 or self.num_clusters == 0:
+            return 0.0
+        return self.inter.bytes / 1e6 / self.duration / self.num_clusters
+
+    def inter_messages_per_s_per_cluster(self) -> float:
+        """Figure 1's x-axis: mean inter-cluster messages/s per source cluster."""
+        if self.duration == 0 or self.num_clusters == 0:
+            return 0.0
+        return self.inter.messages / self.duration / self.num_clusters
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "duration_s": self.duration,
+            "intra_messages": self.intra.messages,
+            "intra_mbytes": self.intra.bytes / 1e6,
+            "inter_messages": self.inter.messages,
+            "inter_mbytes": self.inter.bytes / 1e6,
+            "total_mbyte_per_s": self.total_mbyte_per_s(),
+            "inter_mbyte_per_s_per_cluster": self.inter_mbyte_per_s_per_cluster(),
+            "inter_messages_per_s_per_cluster": self.inter_messages_per_s_per_cluster(),
+        }

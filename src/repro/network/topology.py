@@ -1,0 +1,206 @@
+"""Two-layer cluster-of-clusters topology.
+
+A :class:`Topology` is a list of cluster sizes plus the link classes of
+the two layers.  Ranks are numbered cluster-major: with clusters of sizes
+``[8, 8, 8, 8]``, ranks 0–7 are cluster 0, 8–15 cluster 1, and so on.
+
+The wide-area network is fully connected (as on the DAS): every ordered
+cluster pair has its own dedicated simplex channel, so a 4-cluster system
+has 3 outgoing WAN links per cluster and inter-pair traffic never
+contends with traffic between a different pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from typing import Optional
+
+from .linkspec import LinkSpec, myrinet, wan
+from .variability import Variability
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Static description of a two-layer machine."""
+
+    cluster_sizes: Tuple[int, ...]
+    local: LinkSpec
+    wide: LinkSpec
+    gateway_overhead: float = 200e-6  # per-message store-and-forward cost (TCP gateway)
+    #: Optional WAN jitter model (the paper's "further work": variations
+    #: in wide-area latency and bandwidth).  None = fixed links.
+    wan_variability: Optional[Variability] = None
+    #: Wide-area shape: "full" (the DAS: a dedicated channel per cluster
+    #: pair), "star" (every cluster linked to a hub; other traffic is
+    #: forwarded through the hub's gateway), or "ring" (adjacent clusters
+    #: linked; traffic takes the shorter arc).  Section 5.1 predicts the
+    #: more-smaller-clusters advantage disappears on star/ring shapes.
+    wan_shape: str = "full"
+    #: Hub cluster for the star shape.
+    wan_hub: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cluster_sizes:
+            raise ValueError("topology needs at least one cluster")
+        if any(s <= 0 for s in self.cluster_sizes):
+            raise ValueError(f"cluster sizes must be positive: {self.cluster_sizes}")
+        if self.gateway_overhead < 0:
+            raise ValueError("negative gateway overhead")
+        if self.wan_shape not in ("full", "star", "ring"):
+            raise ValueError(f"unknown wan_shape {self.wan_shape!r}")
+        if self.wan_shape == "star" and not 0 <= self.wan_hub < len(self.cluster_sizes):
+            raise ValueError(f"wan_hub {self.wan_hub} out of range")
+        # Precompute rank -> cluster lookup once; frozen dataclass, so go
+        # through object.__setattr__.
+        rank_cluster: List[int] = []
+        starts: List[int] = []
+        base = 0
+        for cid, size in enumerate(self.cluster_sizes):
+            starts.append(base)
+            rank_cluster.extend([cid] * size)
+            base += size
+        object.__setattr__(self, "_rank_cluster", tuple(rank_cluster))
+        object.__setattr__(self, "_cluster_start", tuple(starts))
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return len(self._rank_cluster)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.cluster_sizes)
+
+    def ranks(self) -> range:
+        return range(self.num_ranks)
+
+    def clusters(self) -> range:
+        return range(self.num_clusters)
+
+    # ------------------------------------------------------------------
+    # Rank <-> cluster mapping
+    # ------------------------------------------------------------------
+    def cluster_of(self, rank: int) -> int:
+        return self._rank_cluster[rank]
+
+    def cluster_members(self, cluster: int) -> range:
+        start = self._cluster_start[cluster]
+        return range(start, start + self.cluster_sizes[cluster])
+
+    def cluster_leader(self, cluster: int) -> int:
+        """The conventional coordinator rank of a cluster (its first rank)."""
+        return self._cluster_start[cluster]
+
+    def local_index(self, rank: int) -> int:
+        """Position of ``rank`` within its own cluster."""
+        return rank - self._cluster_start[self.cluster_of(rank)]
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        return self._rank_cluster[a] == self._rank_cluster[b]
+
+    def wan_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Ordered cluster pairs that have a physical simplex WAN channel."""
+        if self.wan_shape == "full":
+            for a in self.clusters():
+                for b in self.clusters():
+                    if a != b:
+                        yield (a, b)
+        elif self.wan_shape == "star":
+            for c in self.clusters():
+                if c != self.wan_hub:
+                    yield (c, self.wan_hub)
+                    yield (self.wan_hub, c)
+        else:  # ring
+            n = self.num_clusters
+            if n == 2:
+                yield (0, 1)
+                yield (1, 0)
+            else:
+                for c in self.clusters():
+                    yield (c, (c + 1) % n)
+                    yield ((c + 1) % n, c)
+
+    def wan_route(self, src_cluster: int, dst_cluster: int) -> List[Tuple[int, int]]:
+        """The sequence of WAN hops from one cluster to another.
+
+        On "full" this is a single hop; on "star" traffic between spokes
+        relays through the hub; on "ring" it takes the shorter arc (ties
+        broken toward increasing cluster ids).
+        """
+        if src_cluster == dst_cluster:
+            return []
+        if self.wan_shape == "full":
+            return [(src_cluster, dst_cluster)]
+        if self.wan_shape == "star":
+            hops = []
+            if src_cluster != self.wan_hub:
+                hops.append((src_cluster, self.wan_hub))
+            if dst_cluster != self.wan_hub:
+                hops.append((self.wan_hub, dst_cluster))
+            return hops
+        # ring: walk the shorter direction.
+        n = self.num_clusters
+        forward = (dst_cluster - src_cluster) % n
+        backward = (src_cluster - dst_cluster) % n
+        step = 1 if forward <= backward else -1
+        hops = []
+        here = src_cluster
+        while here != dst_cluster:
+            nxt = (here + step) % n
+            hops.append((here, nxt))
+            here = nxt
+        return hops
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    def gap_bandwidth(self) -> float:
+        """The NUMA gap in bandwidth (fast / slow)."""
+        return self.local.bandwidth / self.wide.bandwidth
+
+    def gap_latency(self) -> float:
+        """The NUMA gap in latency (slow / fast)."""
+        return self.wide.latency / self.local.latency
+
+    def describe(self) -> str:
+        shape = "x".join(str(s) for s in self.cluster_sizes)
+        return (
+            f"{self.num_clusters} clusters ({shape}), "
+            f"local {self.local.latency*1e6:.0f}us/{self.local.bandwidth/1e6:.0f}MBs, "
+            f"wan {self.wide.latency*1e3:.2f}ms/{self.wide.bandwidth/1e6:.3f}MBs"
+        )
+
+
+def das_topology(
+    clusters: int = 4,
+    cluster_size: int = 8,
+    wan_latency_ms: float = 1.25,
+    wan_bandwidth_mbyte_s: float = 0.55,
+    local: LinkSpec = None,
+    gateway_overhead: float = 200e-6,
+    wan_variability: Optional[Variability] = None,
+) -> Topology:
+    """The paper's experimentation system: N Myrinet clusters over ATM."""
+    return Topology(
+        cluster_sizes=tuple([cluster_size] * clusters),
+        local=local if local is not None else myrinet(),
+        wide=wan(wan_latency_ms, wan_bandwidth_mbyte_s),
+        gateway_overhead=gateway_overhead,
+        wan_variability=wan_variability,
+    )
+
+
+def single_cluster(num_ranks: int, local: LinkSpec = None) -> Topology:
+    """An all-Myrinet machine — the paper's speedup baseline."""
+    return Topology(
+        cluster_sizes=(num_ranks,),
+        local=local if local is not None else myrinet(),
+        # The WAN spec is never exercised with one cluster; give it the
+        # local characteristics so gap computations degenerate to ~1.
+        wide=local if local is not None else myrinet(),
+        gateway_overhead=0.0,
+    )

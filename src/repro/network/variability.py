@@ -1,0 +1,87 @@
+"""Wide-area link variability (the paper's stated further work).
+
+Section 1: "Further research should study the impact of variations in
+latency and bandwidth, which often occur on wide area links."  This
+module models both:
+
+- **latency jitter** — each message's propagation delay is scaled by an
+  independent log-normal factor with mean 1 and a chosen coefficient of
+  variation (queueing noise on shared WANs);
+- **bandwidth variation** — the link's attainable rate is scaled by a
+  piecewise-constant log-normal factor, redrawn every ``epoch`` seconds
+  (competing background traffic changes slowly compared to messages).
+
+Both are deterministic given the run seed and the link name: bandwidth
+epochs hash (seed, link, epoch-index) so that their sequence does not
+depend on message order; latency factors come from a per-link stream
+consumed per message (message order is itself deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class Variability:
+    """Coefficient-of-variation knobs for a link class."""
+
+    latency_cv: float = 0.0
+    bandwidth_cv: float = 0.0
+    epoch: float = 0.25  # seconds per bandwidth regime
+
+    def __post_init__(self) -> None:
+        if self.latency_cv < 0 or self.bandwidth_cv < 0:
+            raise ValueError("coefficients of variation must be >= 0")
+        if self.epoch <= 0:
+            raise ValueError("epoch must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.latency_cv > 0 or self.bandwidth_cv > 0
+
+
+def _lognormal_sigma(cv: float) -> float:
+    """Sigma of a mean-1 log-normal with coefficient of variation ``cv``."""
+    return math.sqrt(math.log(1.0 + cv * cv))
+
+
+class LinkNoise:
+    """Per-link sampler bound to a run seed (see module docstring)."""
+
+    __slots__ = ("variability", "_seed", "_name", "_lat_rng", "_lat_sigma",
+                 "_bw_sigma", "_bw_cache")
+
+    def __init__(self, variability: Variability, seed: int, name: str) -> None:
+        self.variability = variability
+        self._seed = seed
+        self._name = name
+        self._lat_rng = make_rng(seed, f"latjitter:{name}")
+        self._lat_sigma = _lognormal_sigma(variability.latency_cv)
+        self._bw_sigma = _lognormal_sigma(variability.bandwidth_cv)
+        self._bw_cache: dict = {}
+
+    def latency_factor(self) -> float:
+        """Mean-1 multiplicative jitter for one message's propagation."""
+        if self._lat_sigma == 0.0:
+            return 1.0
+        return self._lat_rng.lognormvariate(-self._lat_sigma ** 2 / 2,
+                                            self._lat_sigma)
+
+    def bandwidth_factor(self, time: float) -> float:
+        """Mean-1 multiplicative rate factor for the epoch containing ``time``."""
+        if self._bw_sigma == 0.0:
+            return 1.0
+        window = int(time / self.variability.epoch)
+        factor = self._bw_cache.get(window)
+        if factor is None:
+            rng = make_rng(derive_seed(self._seed, self._name),
+                           f"bw-epoch:{window}")
+            factor = rng.lognormvariate(-self._bw_sigma ** 2 / 2, self._bw_sigma)
+            self._bw_cache[window] = factor
+            if len(self._bw_cache) > 4096:  # bound memory on long runs
+                self._bw_cache.pop(next(iter(self._bw_cache)))
+        return factor

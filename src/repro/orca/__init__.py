@@ -1,0 +1,6 @@
+"""Orca-style shared objects: the programming model of the paper's apps."""
+
+from .objects import ObjectSpec, Placement, choose_placement
+from .runtime import ORCA_TAG, OrcaEnv
+
+__all__ = ["ObjectSpec", "Placement", "choose_placement", "OrcaEnv", "ORCA_TAG"]

@@ -1,0 +1,92 @@
+"""Orca-style shared objects.
+
+Five of the paper's six applications are written in Orca [Bal et al.,
+TOCS 16(1)], whose runtime hides communication behind *shared objects*:
+an object is either **replicated** on every processor (reads are local;
+writes go through a totally-ordered broadcast serialized by a sequencer)
+or **owned** by one processor (every operation is an RPC).  The runtime
+picks the strategy from the read/write ratio.
+
+This package rebuilds that model on the simulator: it is the layer in
+which ASP's replicated distance matrix, TSP's job-queue object and the
+Water position objects "live" in the original programs.
+
+Objects are declared with :class:`ObjectSpec`; operations are plain
+functions over the object state, split into reads and writes::
+
+    COUNTER = ObjectSpec(
+        name="counter",
+        initial=lambda: {"value": 0},
+        reads={"get": lambda state: state["value"]},
+        writes={"add": lambda state, amount: state.__setitem__(
+            "value", state["value"] + amount)},
+    )
+
+Writes must be deterministic: every replica applies the same sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+ReadOp = Callable[..., Any]
+WriteOp = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """Declaration of a shared object type."""
+
+    name: str
+    initial: Callable[[], Any]
+    reads: Mapping[str, ReadOp] = field(default_factory=dict)
+    writes: Mapping[str, WriteOp] = field(default_factory=dict)
+    #: estimated on-the-wire size of an operation's arguments/results
+    op_bytes: int = 64
+    #: CPU time to execute one operation on the state
+    op_cost: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("object needs a name")
+        overlap = set(self.reads) & set(self.writes)
+        if overlap:
+            raise ValueError(f"operations declared as both read and write: {overlap}")
+        if not self.reads and not self.writes:
+            raise ValueError(f"object {self.name!r} declares no operations")
+
+    def operation(self, op: str) -> Callable[..., Any]:
+        if op in self.reads:
+            return self.reads[op]
+        if op in self.writes:
+            return self.writes[op]
+        raise KeyError(f"object {self.name!r} has no operation {op!r}")
+
+    def is_write(self, op: str) -> bool:
+        if op in self.writes:
+            return True
+        if op in self.reads:
+            return False
+        raise KeyError(f"object {self.name!r} has no operation {op!r}")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where an object lives.
+
+    ``replicated=True``: a replica on every rank, writes totally ordered
+    through the sequencer on ``home`` (reads are free).
+    ``replicated=False``: single copy on ``home``, all operations RPC.
+    """
+
+    replicated: bool = True
+    home: int = 0
+
+
+def choose_placement(reads_per_write: float, num_ranks: int,
+                     home: int = 0) -> Placement:
+    """The Orca RTS heuristic, simplified: replicate when the object is
+    read at least as often as it is written *per processor* (replication
+    turns p reads local at the cost of one ordered broadcast per write)."""
+    return Placement(replicated=reads_per_write >= 1.0, home=home)

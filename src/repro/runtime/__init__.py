@@ -1,0 +1,52 @@
+"""Panda/Orca-like messaging runtime on top of the simulated interconnect."""
+
+from .barrier import flat_barrier, tree_barrier
+from .bcast import flat_bcast, hier_bcast
+from .combining import ITEM_HEADER_BYTES, Batch, CombiningBuffer, recv_batch
+from .context import CONTROL_BYTES, Context, RpcEnvelope
+from .machine import CpuClock, DeadlockError, Endpoint, Machine, RankStats
+from .reduction import allreduce, binomial_reduce, hier_reduce, linear_reduce
+from .run import RunResult, run_spmd
+from .sequencer import SequencerService, get_seq, migrate_sequencer
+from .workqueue import (
+    AccountantService,
+    CentralQueueService,
+    ClusterQueueService,
+    get_central_job,
+    get_cluster_job,
+    report_job_done,
+)
+
+__all__ = [
+    "flat_barrier",
+    "tree_barrier",
+    "flat_bcast",
+    "hier_bcast",
+    "ITEM_HEADER_BYTES",
+    "Batch",
+    "CombiningBuffer",
+    "recv_batch",
+    "CONTROL_BYTES",
+    "Context",
+    "RpcEnvelope",
+    "CpuClock",
+    "DeadlockError",
+    "Endpoint",
+    "Machine",
+    "RankStats",
+    "allreduce",
+    "binomial_reduce",
+    "hier_reduce",
+    "linear_reduce",
+    "RunResult",
+    "run_spmd",
+    "SequencerService",
+    "get_seq",
+    "migrate_sequencer",
+    "AccountantService",
+    "CentralQueueService",
+    "ClusterQueueService",
+    "get_central_job",
+    "get_cluster_job",
+    "report_job_done",
+]

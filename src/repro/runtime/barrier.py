@@ -1,0 +1,70 @@
+"""Barrier synchronization, flat and cluster-aware.
+
+``flat_barrier`` is the topology-unaware gather/release barrier the
+original (uniform-network) applications use; with multiple clusters most
+of its messages cross the slow links.  ``tree_barrier`` synchronizes
+within each cluster first and sends exactly one message per cluster over
+the WAN in each direction.
+
+All ranks of the group must call the same barrier with the same
+``barrier_id`` exactly once; ids must be unique per barrier instance
+(use a per-phase counter).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from .context import CONTROL_BYTES, Context
+
+
+def flat_barrier(ctx: Context, barrier_id: Any, root: int = 0,
+                 ranks: Optional[Sequence[int]] = None) -> Generator:
+    """Centralized barrier: everyone reports to ``root``, root releases."""
+    group = list(ranks) if ranks is not None else list(ctx.topology.ranks())
+    arrive = ("bar-arrive", barrier_id)
+    release = ("bar-release", barrier_id)
+    if ctx.rank == root:
+        for _ in range(len(group) - 1):
+            yield ctx.recv(arrive)
+        for r in group:
+            if r != root:
+                yield ctx.send(r, CONTROL_BYTES, release)
+    else:
+        yield ctx.send(root, CONTROL_BYTES, arrive)
+        yield ctx.recv(release)
+
+
+def tree_barrier(ctx: Context, barrier_id: Any) -> Generator:
+    """Two-level barrier: cluster members -> leader, leaders -> rank 0.
+
+    Costs one WAN round trip regardless of cluster size, versus O(ranks)
+    WAN messages for :func:`flat_barrier` on a multi-cluster machine.
+    """
+    topo = ctx.topology
+    leader = topo.cluster_leader(ctx.cluster)
+    root = topo.cluster_leader(0)
+    local_arrive = ("tbar-la", barrier_id)
+    wan_arrive = ("tbar-wa", barrier_id)
+    local_release = ("tbar-lr", barrier_id)
+    wan_release = ("tbar-wr", barrier_id)
+
+    if ctx.rank == leader:
+        for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
+            yield ctx.recv(local_arrive)
+        if leader == root:
+            for _ in range(topo.num_clusters - 1):
+                yield ctx.recv(wan_arrive)
+            for cid in topo.clusters():
+                other = topo.cluster_leader(cid)
+                if other != root:
+                    yield ctx.send(other, CONTROL_BYTES, wan_release)
+        else:
+            yield ctx.send(root, CONTROL_BYTES, wan_arrive)
+            yield ctx.recv(wan_release)
+        for r in topo.cluster_members(ctx.cluster):
+            if r != leader:
+                yield ctx.send(r, CONTROL_BYTES, local_release)
+    else:
+        yield ctx.send(leader, CONTROL_BYTES, local_arrive)
+        yield ctx.recv(local_release)

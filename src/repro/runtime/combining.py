@@ -1,0 +1,96 @@
+"""Message combining: batching many small messages into fewer large ones.
+
+Both Awari variants and Barnes-Hut use per-destination combining (the
+paper: "All efficient BSP implementations perform message combining");
+the *optimized* multi-cluster variants add a second combining layer per
+target cluster.  This module provides the per-destination buffer and the
+batch wire format; the cluster-level relay protocol lives with the apps
+that use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Tuple
+
+from .context import Context
+
+#: Framing cost per combined item (length/type header on the wire).
+ITEM_HEADER_BYTES = 8
+
+
+@dataclass
+class Batch:
+    """Payload of one combined message: the original items and their sizes."""
+
+    items: List[Any] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+
+    def add(self, item: Any, nbytes: int) -> None:
+        self.items.append(item)
+        self.sizes.append(nbytes)
+
+    @property
+    def wire_size(self) -> int:
+        return sum(self.sizes) + ITEM_HEADER_BYTES * len(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class CombiningBuffer:
+    """Per-destination batching of small messages.
+
+    ``add`` buffers an item for ``dst`` and transparently flushes when the
+    batch reaches ``flush_count`` items or ``flush_bytes`` payload bytes.
+    Call ``flush_all`` at phase boundaries.  All methods are generators —
+    drive them with ``yield from``.
+    """
+
+    def __init__(self, ctx: Context, tag: Any,
+                 flush_count: int = 64, flush_bytes: int = 65536) -> None:
+        if flush_count < 1:
+            raise ValueError("flush_count must be >= 1")
+        if flush_bytes < 1:
+            raise ValueError("flush_bytes must be >= 1")
+        self.ctx = ctx
+        self.tag = tag
+        self.flush_count = flush_count
+        self.flush_bytes = flush_bytes
+        self._pending: Dict[int, Batch] = {}
+        self.batches_sent = 0
+        self.items_sent = 0
+
+    def add(self, dst: int, item: Any, nbytes: int) -> Generator:
+        """Buffer ``item`` for ``dst``; may emit a combined send."""
+        batch = self._pending.get(dst)
+        if batch is None:
+            batch = Batch()
+            self._pending[dst] = batch
+        batch.add(item, nbytes)
+        if len(batch) >= self.flush_count or sum(batch.sizes) >= self.flush_bytes:
+            yield from self.flush(dst)
+
+    def flush(self, dst: int) -> Generator:
+        """Send the pending batch for ``dst``, if any."""
+        batch = self._pending.pop(dst, None)
+        if batch is None or not len(batch):
+            return
+        self.batches_sent += 1
+        self.items_sent += len(batch)
+        yield self.ctx.send(dst, batch.wire_size, self.tag, batch)
+
+    def flush_all(self) -> Generator:
+        """Send every pending batch (ascending destination for determinism)."""
+        for dst in sorted(self._pending):
+            yield from self.flush(dst)
+
+    def pending_items(self) -> int:
+        return sum(len(b) for b in self._pending.values())
+
+
+def recv_batch(ctx: Context, tag: Any) -> Generator:
+    """Receive one combined message; returns its list of items."""
+    msg = yield ctx.recv(tag)
+    batch: Batch = msg.payload
+    return batch.items

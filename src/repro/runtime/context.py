@@ -1,0 +1,248 @@
+"""Per-process API for application code — the Panda-like messaging layer.
+
+A :class:`Context` is bound to one rank of one :class:`Machine`.  Its
+methods return syscall objects that the process yields::
+
+    def body(ctx):
+        yield ctx.compute(2e-3)
+        yield ctx.send(dst=3, size=4096, tag="row")
+        msg = yield ctx.recv("row")
+
+Composite operations (``rpc``) are generators used with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..network.message import Message
+from ..sim.process import Process, Syscall
+from ..sim.rng import make_rng
+from .machine import Machine
+
+#: Size in bytes of a bare control message (ack, token, seq request).
+CONTROL_BYTES = 64
+
+
+@dataclass
+class RpcEnvelope:
+    """Wraps an RPC request payload with the tag the reply must use."""
+
+    reply_tag: Any
+    body: Any
+
+
+class _Compute(Syscall):
+    __slots__ = ("ctx", "duration")
+
+    def __init__(self, ctx: "Context", duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative compute duration {duration!r}")
+        self.ctx = ctx
+        self.duration = duration
+
+    def apply(self, proc: Process) -> None:
+        ctx = self.ctx
+        machine = ctx.machine
+        end = machine.cpus[ctx.rank].reserve(machine.now, self.duration)
+        machine.rank_stats[ctx.rank].compute_time += self.duration
+        if machine.tracer is not None and self.duration > 0:
+            machine.tracer.record_compute(ctx.rank, end - self.duration, end)
+        machine.engine.call_at(end, lambda: proc._step(None, None))
+
+
+class _Send(Syscall):
+    __slots__ = ("ctx", "dst", "size", "tag", "payload")
+
+    def __init__(self, ctx: "Context", dst: int, size: int, tag: Any, payload: Any) -> None:
+        self.ctx = ctx
+        self.dst = dst
+        self.size = size
+        self.tag = tag
+        self.payload = payload
+
+    def apply(self, proc: Process) -> None:
+        ctx = self.ctx
+        machine = ctx.machine
+        topo = machine.topology
+        spec = topo.local if topo.same_cluster(ctx.rank, self.dst) else topo.wide
+        # Host overhead is paid sequentially by this process but does not
+        # reserve the rank CPU: on the DAS, messaging ran on the LANai
+        # co-processor / Panda upcall thread, so a computing process does
+        # not stall the message pipeline of its neighbours on the rank.
+        overhead_end = machine.now + spec.send_overhead
+        machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
+        msg = Message(src=ctx.rank, dst=self.dst, tag=self.tag,
+                      size=self.size, payload=self.payload)
+        machine.transmit(msg, overhead_end)
+        # Asynchronous send: the sender continues once the host overhead
+        # is paid (the NIC/gateway pipeline drains without the CPU).
+        machine.engine.call_at(overhead_end, lambda: proc._step(None, None))
+
+
+class _Multicast(Syscall):
+    __slots__ = ("ctx", "dsts", "size", "tag", "payload")
+
+    def __init__(self, ctx: "Context", dsts, size: int, tag: Any, payload: Any) -> None:
+        self.ctx = ctx
+        self.dsts = list(dsts)
+        self.size = size
+        self.tag = tag
+        self.payload = payload
+
+    def apply(self, proc: Process) -> None:
+        ctx = self.ctx
+        machine = ctx.machine
+        spec = machine.topology.local
+        overhead_end = machine.now + spec.send_overhead
+        machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
+        machine.transmit_multicast(ctx.rank, self.dsts, self.size, self.tag,
+                                   self.payload, overhead_end)
+        machine.engine.call_at(overhead_end, lambda: proc._step(None, None))
+
+
+class _Recv(Syscall):
+    __slots__ = ("ctx", "tag")
+
+    def __init__(self, ctx: "Context", tag: Any) -> None:
+        self.ctx = ctx
+        self.tag = tag
+
+    def apply(self, proc: Process) -> None:
+        ctx = self.ctx
+        machine = ctx.machine
+        wait_start = machine.now
+
+        def on_message(msg: Message) -> None:
+            stats = machine.rank_stats[ctx.rank]
+            if not proc.daemon:
+                # Idle time is only meaningful for application processes;
+                # service daemons block on their inboxes by design.
+                stats.recv_blocked_time += machine.now - wait_start
+            topo = machine.topology
+            spec = topo.wide if msg.inter_cluster else topo.local
+            # Like the send overhead, this is a sequential delay for the
+            # receiving process, not a rank-CPU reservation (see _Send).
+            end = machine.now + spec.recv_overhead
+            stats.recv_overhead_time += spec.recv_overhead
+            stats.messages_received += 1
+            machine.engine.call_at(end, lambda: proc._step(msg, None))
+
+        machine.endpoints[ctx.rank].box(self.tag).get_event().add_callback(on_message)
+
+
+class _RecvNowait(Syscall):
+    __slots__ = ("ctx", "tag")
+
+    def __init__(self, ctx: "Context", tag: Any) -> None:
+        self.ctx = ctx
+        self.tag = tag
+
+    def apply(self, proc: Process) -> None:
+        ctx = self.ctx
+        machine = ctx.machine
+        msg = machine.endpoints[ctx.rank].box(self.tag).try_get()
+        if msg is not None:
+            machine.rank_stats[ctx.rank].messages_received += 1
+        proc.resume(msg)
+
+
+class Context:
+    """Bound per-process handle on the machine (one per spawned process)."""
+
+    def __init__(self, machine: Machine, rank: int) -> None:
+        self.machine = machine
+        self.rank = rank
+        self.process: Optional[Process] = None
+        self._rpc_ids = itertools.count()
+        self.rng = make_rng(machine.seed, f"rank{rank}")
+
+    # ------------------------------------------------------------------
+    # Topology conveniences
+    # ------------------------------------------------------------------
+    @property
+    def topology(self):
+        return self.machine.topology
+
+    @property
+    def num_ranks(self) -> int:
+        return self.machine.topology.num_ranks
+
+    @property
+    def cluster(self) -> int:
+        return self.machine.topology.cluster_of(self.rank)
+
+    @property
+    def now(self) -> float:
+        return self.machine.now
+
+    def is_local(self, other: int) -> bool:
+        return self.machine.topology.same_cluster(self.rank, other)
+
+    # ------------------------------------------------------------------
+    # Syscall factories
+    # ------------------------------------------------------------------
+    def compute(self, duration: float) -> Syscall:
+        """Charge ``duration`` seconds of CPU work on this rank."""
+        return _Compute(self, duration)
+
+    def send(self, dst: int, size: int, tag: Any, payload: Any = None) -> Syscall:
+        """Asynchronously send ``size`` bytes to rank ``dst`` under ``tag``."""
+        return _Send(self, dst, size, tag, payload)
+
+    def multicast(self, dsts, size: int, tag: Any, payload: Any = None) -> Syscall:
+        """Intra-cluster multicast: one NIC transfer, many deliveries.
+
+        Models the LFC spanning-tree multicast of the DAS Myrinet; all
+        destinations must be in this rank's cluster.
+        """
+        return _Multicast(self, dsts, size, tag, payload)
+
+    def recv(self, tag: Any) -> Syscall:
+        """Block until a message tagged ``tag`` arrives; yields the Message."""
+        return _Recv(self, tag)
+
+    def recv_nowait(self, tag: Any) -> Syscall:
+        """Poll for a message tagged ``tag``; yields the Message or None."""
+        return _RecvNowait(self, tag)
+
+    # ------------------------------------------------------------------
+    # Composites
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        dst: int,
+        tag: Any,
+        size: int = CONTROL_BYTES,
+        payload: Any = None,
+    ) -> Generator:
+        """Request/reply round trip: returns the reply payload.
+
+        The server must answer with :meth:`reply` (or send to the request's
+        envelope tag).  Usage: ``result = yield from ctx.rpc(dst, tag, ...)``.
+        """
+        reply_tag = ("_rpc", self.rank, next(self._rpc_ids))
+        envelope = RpcEnvelope(reply_tag=reply_tag, body=payload)
+        yield self.send(dst, size, tag, envelope)
+        msg = yield self.recv(reply_tag)
+        return msg.payload
+
+    def reply(self, request: Message, size: int = CONTROL_BYTES, payload: Any = None) -> Syscall:
+        """Answer an RPC ``request`` previously received."""
+        envelope = request.payload
+        if not isinstance(envelope, RpcEnvelope):
+            raise TypeError(f"message {request.tag!r} is not an RPC request")
+        return self.send(request.src, size, envelope.reply_tag, payload)
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+    def spawn_service(
+        self, body_factory: Callable[["Context"], Generator], name: str = "svc"
+    ) -> Process:
+        """Start a daemon process on this same rank (shares this rank's CPU)."""
+        return self.machine.spawn(
+            self.rank, body_factory, name=f"rank{self.rank}.{name}", daemon=True
+        )

@@ -1,0 +1,246 @@
+"""The simulated parallel machine: topology + engine + message delivery.
+
+A :class:`Machine` owns the event engine, the router and one
+:class:`Endpoint` per rank.  Application code is spawned as per-rank
+processes (``machine.spawn(rank, body)``); ``machine.run()`` drives the
+simulation until every non-daemon process has finished.
+
+CPU model: each rank has a serializing CPU clock.  ``compute`` time and
+per-message send/receive overheads all reserve the CPU, so a rank that is
+busy forwarding messages (a gateway or coordinator rank) genuinely loses
+computation time — the effect the paper's optimizations trade against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..network.message import Message
+from ..network.router import Router
+from ..network.stats import TrafficStats
+from ..network.topology import Topology
+from ..sim.engine import Engine
+from ..sim.events import Mailbox
+from ..sim.process import Process
+
+
+class DeadlockError(RuntimeError):
+    """The event queue drained while application processes were blocked."""
+
+
+class CpuClock:
+    """Serializes CPU work on one rank (FIFO, like a link for time)."""
+
+    __slots__ = ("next_free", "busy_time")
+
+    def __init__(self) -> None:
+        self.next_free = 0.0
+        self.busy_time = 0.0
+
+    def reserve(self, now: float, duration: float) -> float:
+        """Book ``duration`` seconds of CPU starting no earlier than ``now``;
+        returns the completion time."""
+        start = max(now, self.next_free)
+        end = start + duration
+        self.next_free = end
+        self.busy_time += duration
+        return end
+
+
+class RankStats:
+    """Per-rank accounting used by Figure 4 style analyses."""
+
+    __slots__ = ("compute_time", "send_overhead_time", "recv_overhead_time",
+                 "recv_blocked_time", "messages_sent", "messages_received",
+                 "bytes_sent", "finish_time")
+
+    def __init__(self) -> None:
+        self.compute_time = 0.0
+        self.send_overhead_time = 0.0
+        self.recv_overhead_time = 0.0
+        self.recv_blocked_time = 0.0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.finish_time = 0.0
+
+
+class Endpoint:
+    """Per-rank message reception: one mailbox per tag."""
+
+    __slots__ = ("rank", "_boxes")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self._boxes: Dict[Any, Mailbox] = {}
+
+    def box(self, tag: Any) -> Mailbox:
+        mb = self._boxes.get(tag)
+        if mb is None:
+            mb = Mailbox()
+            self._boxes[tag] = mb
+        return mb
+
+    def deliver(self, msg: Message) -> None:
+        self.box(msg.tag).put(msg)
+
+    def pending(self) -> Dict[Any, int]:
+        return {tag: len(mb) for tag, mb in self._boxes.items() if len(mb)}
+
+    def waiting(self) -> List[Any]:
+        return [tag for tag, mb in self._boxes.items() if mb.waiting_receivers]
+
+
+class Machine:
+    """A two-layer parallel machine executing simulated processes."""
+
+    def __init__(self, topology: Topology, seed: int = 0, tracer=None) -> None:
+        self.topology = topology
+        self.seed = seed
+        #: optional :class:`repro.trace.Tracer` capturing structured events
+        self.tracer = tracer
+        self.engine = Engine()
+        self.stats = TrafficStats(topology.num_clusters)
+        self.router = Router(topology, self.stats, seed=seed)
+        self.endpoints: List[Endpoint] = [Endpoint(r) for r in topology.ranks()]
+        self.cpus: List[CpuClock] = [CpuClock() for _ in topology.ranks()]
+        self.rank_stats: List[RankStats] = [RankStats() for _ in topology.ranks()]
+        self._main_procs: List[Process] = []
+        self._daemon_procs: List[Process] = []
+        self._live_main = 0
+
+    # ------------------------------------------------------------------
+    # Process management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        rank: int,
+        body_factory: Callable[["Context"], Generator],
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Process:
+        """Start a process on ``rank``.  ``body_factory`` receives a bound
+        :class:`~repro.runtime.context.Context` and returns the generator.
+
+        Daemon processes (services) do not keep the run alive.
+        """
+        from .context import Context  # local import to avoid a cycle
+
+        ctx = Context(self, rank)
+        pname = name or f"rank{rank}"
+        proc = Process(self.engine, body_factory(ctx), name=pname, daemon=daemon)
+        ctx.process = proc
+        if daemon:
+            self._daemon_procs.append(proc)
+        else:
+            self._main_procs.append(proc)
+            self._live_main += 1
+            proc.on_done(self._main_done)
+        proc.start()
+        return proc
+
+    def _main_done(self, proc: Process) -> None:
+        self._live_main -= 1
+        rank = self._rank_of(proc)
+        if rank is not None:
+            self.rank_stats[rank].finish_time = self.engine.now
+
+    def _rank_of(self, proc: Process) -> Optional[int]:
+        name = proc.name
+        if name.startswith("rank"):
+            head = name[4:].split(".", 1)[0]
+            if head.isdigit():
+                return int(head)
+        return None
+
+    # ------------------------------------------------------------------
+    # Message transport (called from Context syscalls)
+    # ------------------------------------------------------------------
+    def transmit(self, msg: Message, depart_time: float) -> None:
+        """Route ``msg``; delivery is scheduled through the engine (shared
+        resources are reserved in arrival order along the path)."""
+        endpoint = self.endpoints[msg.dst]
+        if self.tracer is not None:
+            def deliver(m: Message) -> None:
+                self.tracer.record_deliver(m, self.engine.now)
+                endpoint.deliver(m)
+        else:
+            deliver = endpoint.deliver
+        self.router.route(msg, depart_time, self.engine, deliver)
+        if self.tracer is not None:
+            # After route(): the message knows whether it crossed the WAN.
+            self.tracer.record_send(msg, depart_time)
+        st = self.rank_stats[msg.src]
+        st.messages_sent += 1
+        st.bytes_sent += msg.size
+
+    def transmit_multicast(self, src: int, dsts: List[int], size: int,
+                           tag: Any, payload: Any, depart_time: float) -> float:
+        """Intra-cluster hardware multicast (LFC-style spanning tree).
+
+        The payload crosses the sender's NIC *once* and is delivered to all
+        destinations one local latency later; traffic statistics count it
+        once, matching how the DAS measurements count multicast data.
+        All destinations must be in the sender's cluster.
+        """
+        topo = self.topology
+        for dst in dsts:
+            if not topo.same_cluster(src, dst):
+                raise ValueError(
+                    f"multicast from {src} to {dst} crosses clusters; "
+                    f"use point-to-point sends over the WAN"
+                )
+        deliver = self.router.nic(src).transfer(depart_time, size)
+        self.stats.record_intra(size)
+        deliver_time = deliver
+        for dst in dsts:
+            msg = Message(src=src, dst=dst, tag=tag, size=size, payload=payload)
+            msg.send_time = depart_time
+            msg.deliver_time = deliver_time
+            endpoint = self.endpoints[dst]
+            self.engine.call_at(deliver_time,
+                                lambda ep=endpoint, m=msg: ep.deliver(m))
+        st = self.rank_stats[src]
+        st.messages_sent += 1
+        st.bytes_sent += size
+        return deliver_time
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until all non-daemon processes finish; returns finish time.
+
+        Raises :class:`DeadlockError` if the event queue drains while main
+        processes are still blocked (a protocol bug in the application).
+        """
+        eng = self.engine
+        while self._live_main > 0:
+            if until is not None and eng.peek() > until:
+                raise TimeoutError(
+                    f"simulation exceeded until={until}s with {self._live_main} "
+                    f"main processes still live"
+                )
+            if not eng.step():
+                blocked = [p.name for p in self._main_procs if not p.finished]
+                waiting = {
+                    ep.rank: ep.waiting() for ep in self.endpoints if ep.waiting()
+                }
+                raise DeadlockError(
+                    f"event queue drained with live processes {blocked}; "
+                    f"ranks blocked on tags: {waiting}"
+                )
+        self.stats.mark_end(eng.now)
+        return eng.now
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def runtime(self) -> float:
+        """Completion time of the slowest main process."""
+        return max(s.finish_time for s in self.rank_stats)
+
+    def results(self) -> List[Any]:
+        """Return values of all main processes, in spawn order."""
+        return [p.result for p in self._main_procs]

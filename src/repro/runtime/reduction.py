@@ -1,0 +1,112 @@
+"""Reduction trees: one-level (flat) and two-level (cluster-aware).
+
+The paper's Water optimization is exactly the move from a one-level
+reduction (every rank ships its contribution to the root, most of them
+over the WAN) to a two-level tree where cluster leaders combine locally
+and forward a single partial result per cluster over the slow links.
+
+``op`` combines two payloads; size is the on-the-wire size of one
+contribution (reductions do not shrink data in these apps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from .bcast import flat_bcast, hier_bcast
+from .context import Context
+
+
+def linear_reduce(ctx: Context, red_id: Any, root: int, size: int,
+                  value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+    """One-level reduction: all ranks send directly to ``root``.
+
+    Returns the combined value on ``root``; None elsewhere.  Combination
+    order is ascending rank, so non-commutative ``op`` is deterministic.
+    """
+    tag = ("lred", red_id)
+    if ctx.rank == root:
+        contributions = {root: value}
+        for _ in range(ctx.num_ranks - 1):
+            msg = yield ctx.recv(tag)
+            contributions[msg.src] = msg.payload
+        acc = None
+        for r in sorted(contributions):
+            acc = contributions[r] if acc is None else op(acc, contributions[r])
+        return acc
+    yield ctx.send(root, size, tag, value)
+    return None
+
+
+def binomial_reduce(ctx: Context, red_id: Any, root: int, size: int,
+                    value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+    """Binomial-tree reduction over rank order (MPICH-style, topology-unaware)."""
+    topo = ctx.topology
+    p = topo.num_ranks
+    tag = ("bred", red_id)
+    vrank = (ctx.rank - root) % p
+    acc = value
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % p
+            yield ctx.send(parent, size, tag, acc)
+            return None
+        peer = vrank | mask
+        if peer < p:
+            msg = yield ctx.recv(tag)
+            acc = op(acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def hier_reduce(ctx: Context, red_id: Any, root: int, size: int,
+                value: Any, op: Callable[[Any, Any], Any]) -> Generator:
+    """Two-level reduction: combine inside each cluster at the leader,
+    then one WAN message per cluster to ``root``."""
+    topo = ctx.topology
+    tag_loc = ("hred-l", red_id)
+    tag_wan = ("hred-w", red_id)
+    root_cluster = topo.cluster_of(root)
+    # Within the root's cluster the root itself acts as leader so the
+    # result does not take an extra local hop.
+    leader = root if ctx.cluster == root_cluster else topo.cluster_leader(ctx.cluster)
+
+    if ctx.rank != leader:
+        yield ctx.send(leader, size, tag_loc, value)
+        return None
+
+    acc = value
+    contributions = {ctx.rank: value}
+    for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
+        msg = yield ctx.recv(tag_loc)
+        contributions[msg.src] = msg.payload
+    acc = None
+    for r in sorted(contributions):
+        acc = contributions[r] if acc is None else op(acc, contributions[r])
+
+    if ctx.rank == root:
+        cluster_parts = {root_cluster: acc}
+        for _ in range(topo.num_clusters - 1):
+            msg = yield ctx.recv(tag_wan)
+            cluster_parts[topo.cluster_of(msg.src)] = msg.payload
+        total = None
+        for cid in sorted(cluster_parts):
+            part = cluster_parts[cid]
+            total = part if total is None else op(total, part)
+        return total
+    yield ctx.send(root, size, tag_wan, acc)
+    return None
+
+
+def allreduce(ctx: Context, red_id: Any, size: int, value: Any,
+              op: Callable[[Any, Any], Any], hierarchical: bool = False,
+              root: int = 0) -> Generator:
+    """Reduce-then-broadcast allreduce in flat or cluster-aware flavour."""
+    if hierarchical:
+        result = yield from hier_reduce(ctx, red_id, root, size, value, op)
+        result = yield from hier_bcast(ctx, ("ar", red_id), root, size, result)
+    else:
+        result = yield from linear_reduce(ctx, red_id, root, size, value, op)
+        result = yield from flat_bcast(ctx, ("ar", red_id), root, size, result)
+    return result

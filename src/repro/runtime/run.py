@@ -1,0 +1,52 @@
+"""Convenience entry point for running SPMD programs on a machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..network.stats import TrafficStats
+from ..network.topology import Topology
+from .context import Context
+from .machine import Machine, RankStats
+
+MainBody = Callable[[Context], Generator]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated program run."""
+
+    runtime: float
+    results: List[Any]
+    machine: Machine
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.machine.stats
+
+    @property
+    def rank_stats(self) -> List[RankStats]:
+        return self.machine.rank_stats
+
+    def traffic_summary(self) -> Dict[str, float]:
+        return self.machine.stats.summary()
+
+
+def run_spmd(
+    topology: Topology,
+    main: MainBody,
+    seed: int = 0,
+    until: Optional[float] = None,
+) -> RunResult:
+    """Run ``main(ctx)`` on every rank of ``topology`` to completion.
+
+    ``main`` receives a bound :class:`Context`; it may spawn services.
+    Returns the :class:`RunResult` with the parallel runtime (completion
+    time of the slowest rank) and each rank's return value.
+    """
+    machine = Machine(topology, seed=seed)
+    for rank in topology.ranks():
+        machine.spawn(rank, main, name=f"rank{rank}")
+    machine.run(until=until)
+    return RunResult(runtime=machine.runtime(), results=machine.results(), machine=machine)

@@ -1,0 +1,215 @@
+"""Work queues: centralized (uniform-network design) and per-cluster with
+inter-cluster work stealing (the paper's TSP optimization).
+
+Centralized queue
+    One service holds every job; each worker request is an RPC to that
+    rank — on a 4-cluster machine 75% of them cross the WAN.
+
+Distributed queue
+    One queue service per cluster (on the cluster leader).  Workers only
+    talk to their local queue.  When a queue runs dry it steals batches
+    from remote queues.  Global termination is detected by an accountant
+    service that counts job completions and broadcasts TERM, at which
+    point parked workers are released with ``None``.
+
+The steal protocol is fully asynchronous inside the queue service (single
+inbox, no blocking RPCs) so two queues stealing from each other cannot
+deadlock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from ..sim.primitives import Sleep
+from .context import CONTROL_BYTES, Context
+
+TAG_CENTRAL = "wq-central"
+TAG_QUEUE = "wq-cluster"
+TAG_ACCOUNTANT = "wq-accountant"
+
+
+class CentralQueueService:
+    """Single job queue on one rank; replies ``None`` when exhausted."""
+
+    def __init__(self, jobs: List[Any], job_bytes: int = 128) -> None:
+        self.jobs: Deque[Any] = deque(jobs)
+        self.job_bytes = job_bytes
+        self.jobs_handed_out = 0
+
+    def body(self, ctx: Context) -> Generator:
+        while True:
+            msg = yield ctx.recv(TAG_CENTRAL)
+            if self.jobs:
+                job = self.jobs.popleft()
+                self.jobs_handed_out += 1
+                yield ctx.reply(msg, self.job_bytes, job)
+            else:
+                yield ctx.reply(msg, CONTROL_BYTES, None)
+
+
+def get_central_job(ctx: Context, queue_rank: int) -> Generator:
+    """Fetch the next job from the central queue (None when exhausted)."""
+    job = yield from ctx.rpc(queue_rank, TAG_CENTRAL, CONTROL_BYTES, {"kind": "get"})
+    return job
+
+
+class AccountantService:
+    """Counts job completions; broadcasts TERM to queue services when done."""
+
+    def __init__(self, total_jobs: int, queue_ranks: List[int]) -> None:
+        self.total_jobs = total_jobs
+        self.queue_ranks = queue_ranks
+        self.completed = 0
+
+    def body(self, ctx: Context) -> Generator:
+        while self.completed < self.total_jobs:
+            yield ctx.recv(TAG_ACCOUNTANT)
+            self.completed += 1
+        for q in self.queue_ranks:
+            yield ctx.send(q, CONTROL_BYTES, TAG_QUEUE,
+                           {"kind": "term", "reply_tag": None})
+
+
+def report_job_done(ctx: Context, accountant_rank: int) -> Generator:
+    """Fire-and-forget completion notification."""
+    yield ctx.send(accountant_rank, CONTROL_BYTES, TAG_ACCOUNTANT, {"kind": "done"})
+
+
+class ClusterQueueService:
+    """One per-cluster job queue with asynchronous inter-cluster stealing.
+
+    Messages (all on ``TAG_QUEUE``, ``kind`` dispatched):
+
+    - ``get``: worker requests a job; replied with a job or parked.
+    - ``steal-req``: a remote queue asks for a batch of jobs.
+    - ``steal-reply``: jobs (possibly empty list) arriving from a victim.
+    - ``term``: the accountant declared global completion.
+    """
+
+    def __init__(self, jobs: List[Any], peer_ranks: List[int],
+                 job_bytes: int = 128, steal_fraction: float = 0.5,
+                 terminate_on_drain: bool = False) -> None:
+        self.jobs: Deque[Any] = deque(jobs)
+        self.peer_ranks = peer_ranks
+        self.job_bytes = job_bytes
+        self.steal_fraction = steal_fraction
+        #: When True, a fully failed steal round (every peer empty) releases
+        #: parked workers with None instead of waiting for an accountant's
+        #: TERM — correct for static job sets because rounds are sequential,
+        #: so no stolen loot can arrive after the None replies.
+        self.terminate_on_drain = terminate_on_drain
+        self.parked: Deque[Tuple[int, Any]] = deque()  # (worker_rank, reply_tag)
+        self.terminated = False
+        self.steal_in_flight = False
+        self._steal_cursor = 0
+        self._steal_failures_this_round = 0
+        self.jobs_handed_out = 0
+        self.jobs_stolen_in = 0
+        self.jobs_stolen_away = 0
+
+    # -- helpers -------------------------------------------------------
+    def _reply(self, ctx: Context, worker: int, reply_tag: Any,
+               job: Optional[Any]) -> Generator:
+        size = self.job_bytes if job is not None else CONTROL_BYTES
+        yield ctx.send(worker, size, reply_tag, job)
+
+    def _serve_parked(self, ctx: Context) -> Generator:
+        while self.parked and self.jobs:
+            worker, reply_tag = self.parked.popleft()
+            job = self.jobs.popleft()
+            self.jobs_handed_out += 1
+            yield from self._reply(ctx, worker, reply_tag, job)
+        if self.terminated:
+            while self.parked:
+                worker, reply_tag = self.parked.popleft()
+                yield from self._reply(ctx, worker, reply_tag, None)
+
+    def _maybe_start_steal(self, ctx: Context) -> Generator:
+        if (self.steal_in_flight or self.terminated or not self.parked
+                or not self.peer_ranks or self.jobs):
+            return
+        victim = self.peer_ranks[self._steal_cursor % len(self.peer_ranks)]
+        self._steal_cursor += 1
+        self.steal_in_flight = True
+        yield ctx.send(victim, CONTROL_BYTES, TAG_QUEUE,
+                       {"kind": "steal-req", "thief": ctx.rank})
+
+    # -- main loop -----------------------------------------------------
+    def body(self, ctx: Context) -> Generator:
+        while True:
+            msg = yield ctx.recv(TAG_QUEUE)
+            command = msg.payload
+            kind = command["kind"]
+            if kind == "get":
+                if self.jobs:
+                    job = self.jobs.popleft()
+                    self.jobs_handed_out += 1
+                    yield from self._reply(ctx, msg.src, command["reply_tag"], job)
+                elif self.terminated:
+                    yield from self._reply(ctx, msg.src, command["reply_tag"], None)
+                else:
+                    self.parked.append((msg.src, command["reply_tag"]))
+                    self._steal_failures_this_round = 0
+                    if self.peer_ranks:
+                        yield from self._maybe_start_steal(ctx)
+                    elif self.terminate_on_drain:
+                        # No peers to steal from: the queue is drained.
+                        self.terminated = True
+                        yield from self._serve_parked(ctx)
+            elif kind == "steal-req":
+                count = int(len(self.jobs) * self.steal_fraction)
+                loot = [self.jobs.pop() for _ in range(count)]
+                self.jobs_stolen_away += len(loot)
+                size = max(CONTROL_BYTES, self.job_bytes * len(loot))
+                yield ctx.send(command["thief"], size, TAG_QUEUE,
+                               {"kind": "steal-reply", "jobs": loot})
+            elif kind == "steal-reply":
+                self.steal_in_flight = False
+                loot = command["jobs"]
+                if loot:
+                    self.jobs_stolen_in += len(loot)
+                    self.jobs.extend(loot)
+                    self._steal_failures_this_round = 0
+                    yield from self._serve_parked(ctx)
+                else:
+                    self._steal_failures_this_round += 1
+                if self.parked and not self.terminated and not self.jobs:
+                    if self._steal_failures_this_round < len(self.peer_ranks):
+                        yield from self._maybe_start_steal(ctx)
+                    elif self.terminate_on_drain:
+                        self.terminated = True
+                        yield from self._serve_parked(ctx)
+                    else:
+                        # Every peer was dry this round.  Back off for one
+                        # WAN round trip, then retry — the remaining jobs may
+                        # drain slowly at a remote cluster.
+                        delay = 2 * ctx.topology.wide.latency + 1e-4
+                        ctx.spawn_service(
+                            lambda c: _steal_retry_timer(c, delay), name="wq-retry"
+                        )
+            elif kind == "steal-retry":
+                if self.parked and not self.terminated and not self.jobs:
+                    self._steal_failures_this_round = 0
+                    yield from self._maybe_start_steal(ctx)
+            elif kind == "term":
+                self.terminated = True
+                yield from self._serve_parked(ctx)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown queue command {kind!r}")
+
+
+def _steal_retry_timer(ctx: Context, delay: float) -> Generator:
+    """One-shot timer: after ``delay``, poke the local queue service."""
+    yield Sleep(delay)
+    yield ctx.send(ctx.rank, CONTROL_BYTES, TAG_QUEUE, {"kind": "steal-retry"})
+
+
+def get_cluster_job(ctx: Context, queue_rank: int, request_id: Any) -> Generator:
+    """Fetch the next job from this cluster's queue (None = terminate)."""
+    reply_tag = ("wq-job", ctx.rank, request_id)
+    yield ctx.send(queue_rank, CONTROL_BYTES, TAG_QUEUE,
+                   {"kind": "get", "reply_tag": reply_tag})
+    msg = yield ctx.recv(reply_tag)
+    return msg.payload

@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Engine` — the event scheduler.
+- :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Syscall`
+  — generator-based processes.
+- :mod:`~repro.sim.primitives` — ``Sleep``, ``WaitEvent``, ``GetFromMailbox``.
+- :class:`~repro.sim.events.SimEvent` / :class:`~repro.sim.events.Mailbox`.
+- :func:`~repro.sim.rng.make_rng` — reproducible per-component RNG streams.
+"""
+
+from .engine import Engine, SimulationError
+from .events import Mailbox, SimEvent
+from .primitives import GetFromMailbox, Immediate, Sleep, WaitEvent
+from .process import Process, Syscall
+from .rng import derive_seed, make_rng
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "Mailbox",
+    "SimEvent",
+    "GetFromMailbox",
+    "Immediate",
+    "Sleep",
+    "WaitEvent",
+    "Process",
+    "Syscall",
+    "derive_seed",
+    "make_rng",
+]

@@ -1,0 +1,118 @@
+"""Discrete-event simulation engine.
+
+The engine is a minimal, deterministic event scheduler: a binary heap of
+``(time, sequence, callback)`` entries.  Ties in time are broken by the
+monotonically increasing sequence number, so two runs of the same program
+produce identical event orders (see DESIGN.md section 6).
+
+The engine knows nothing about processes, networks or messages; those are
+layered on top (``repro.sim.process``, ``repro.runtime``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """A deterministic discrete-event scheduler.
+
+    Typical use::
+
+        eng = Engine()
+        eng.call_at(1.5, lambda: print("fired at", eng.now))
+        eng.run()
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when!r}, which is before now={self.now!r}"
+            )
+        if math.isnan(when):
+            raise SimulationError("cannot schedule at NaN time")
+        heapq.heappush(self._queue, (when, next(self._seq), fn))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self.call_at(self.now + delay, fn)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single earliest pending event.  Returns False if idle."""
+        if not self._queue:
+            return False
+        when, _seq, fn = heapq.heappop(self._queue)
+        self.now = when
+        self._events_processed += 1
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed in this call.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed
+
+    def peek(self) -> float:
+        """Time of the next pending event (``inf`` when idle)."""
+        return self._queue[0][0] if self._queue else math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Engine(now={self.now:.6f}, pending={self.pending})"
+
+
+def make_any_callback(fn: Callable[..., Any]) -> Callable[[], None]:
+    """Wrap an arbitrary callable as a zero-argument engine callback."""
+    return lambda: fn()

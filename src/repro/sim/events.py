@@ -1,0 +1,102 @@
+"""Synchronization primitives for simulated processes.
+
+``SimEvent`` is a one-shot event that processes can wait on; ``Mailbox`` is
+a FIFO of items with blocking receive semantics.  Both are engine-agnostic
+value holders — the actual blocking/resuming of processes is arranged by
+the syscalls in :mod:`repro.sim.primitives`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+
+class SimEvent:
+    """A one-shot event carrying an optional value.
+
+    Processes wait via the ``WaitEvent`` syscall; arbitrary callbacks can
+    also be attached with :meth:`add_callback`.  Triggering is idempotent
+    only in the sense that re-triggering raises — a one-shot event fires
+    exactly once.
+    """
+
+    __slots__ = ("_value", "_triggered", "_callbacks")
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._triggered = False
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters with ``value``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Run ``cb(value)`` when the event fires (immediately if it has)."""
+        if self._triggered:
+            cb(self._value)
+        else:
+            self._callbacks.append(cb)
+
+
+class Mailbox:
+    """An unbounded FIFO with blocking receive.
+
+    ``put`` either hands the item directly to the oldest waiting receiver
+    or enqueues it.  ``get_event`` returns a :class:`SimEvent` that fires
+    with the next item (immediately if one is queued).
+    """
+
+    __slots__ = ("_items", "_waiters")
+
+    def __init__(self) -> None:
+        self._items: Deque[Any] = deque()
+        self._waiters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_receivers(self) -> int:
+        return len(self._waiters)
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get_event(self) -> SimEvent:
+        ev = SimEvent()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking receive; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (receive order), without consuming."""
+        return list(self._items)

@@ -1,0 +1,67 @@
+"""Engine-level syscalls usable by any simulated process.
+
+Runtime-level syscalls (send/recv/rpc) live in :mod:`repro.runtime.context`
+because they need a machine; the primitives here only need the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .engine import SimulationError
+from .events import Mailbox, SimEvent
+from .process import Process, Syscall
+
+
+class Sleep(Syscall):
+    """Suspend the process for ``duration`` simulated seconds.
+
+    ``Compute`` (in the runtime context) is a ``Sleep`` that additionally
+    books the time as CPU work in the statistics.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative sleep duration {duration!r}")
+        self.duration = duration
+
+    def apply(self, proc: Process) -> None:
+        proc.engine.call_after(self.duration, lambda: proc._step(None, None))
+
+
+class WaitEvent(Syscall):
+    """Block until a :class:`SimEvent` fires; resumes with the event value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent) -> None:
+        self.event = event
+
+    def apply(self, proc: Process) -> None:
+        self.event.add_callback(proc.resume)
+
+
+class GetFromMailbox(Syscall):
+    """Receive the next item from a :class:`Mailbox` (blocking)."""
+
+    __slots__ = ("mailbox",)
+
+    def __init__(self, mailbox: Mailbox) -> None:
+        self.mailbox = mailbox
+
+    def apply(self, proc: Process) -> None:
+        self.mailbox.get_event().add_callback(proc.resume)
+
+
+class Immediate(Syscall):
+    """Resume immediately with ``value`` — a deterministic yield point."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+    def apply(self, proc: Process) -> None:
+        proc.resume(self.value)

@@ -1,0 +1,154 @@
+"""Execution tracing: capture and render what a simulated run did.
+
+Attach a :class:`Tracer` to a machine to record every message send,
+delivery and compute interval::
+
+    tracer = Tracer()
+    machine = Machine(topo, tracer=tracer)
+    ...
+    print(render_timeline(tracer, machine.topology, machine.runtime()))
+
+The text timeline is a per-rank Gantt strip (``#`` compute, ``-`` idle,
+``>``/``<`` send/receive activity in the bin) — enough to *see* a
+superstep structure, a straggler, or a gateway stall in a terminal.
+Structured events are available for programmatic analysis.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network.message import Message
+from .network.topology import Topology
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    time: float
+    src: int
+    dst: int
+    size: int
+    tag: object
+    inter_cluster: bool
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    time: float
+    src: int
+    dst: int
+    size: int
+    tag: object
+    latency: float
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    start: float
+    end: float
+    rank: int
+
+
+class Tracer:
+    """Collects structured events from one machine run."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self.sends: List[SendEvent] = []
+        self.delivers: List[DeliverEvent] = []
+        self.computes: List[ComputeEvent] = []
+        self.dropped = 0
+
+    # -- hooks called by the machine -----------------------------------
+    def record_send(self, msg: Message, time: float) -> None:
+        if len(self.sends) >= self.max_events:
+            self.dropped += 1
+            return
+        self.sends.append(SendEvent(time, msg.src, msg.dst, msg.size,
+                                    msg.tag, msg.inter_cluster))
+
+    def record_deliver(self, msg: Message, time: float) -> None:
+        if len(self.delivers) >= self.max_events:
+            self.dropped += 1
+            return
+        self.delivers.append(DeliverEvent(time, msg.src, msg.dst, msg.size,
+                                          msg.tag, time - msg.send_time))
+
+    def record_compute(self, rank: int, start: float, end: float) -> None:
+        if len(self.computes) >= self.max_events:
+            self.dropped += 1
+            return
+        self.computes.append(ComputeEvent(start, end, rank))
+
+    # -- analysis -------------------------------------------------------
+    def message_count(self) -> int:
+        return len(self.sends)
+
+    def wan_sends(self) -> List[SendEvent]:
+        return [e for e in self.sends if e.inter_cluster]
+
+    def latency_stats(self) -> Dict[str, float]:
+        """Min/mean/max end-to-end delivery latency over all messages."""
+        if not self.delivers:
+            return {"min": 0.0, "mean": 0.0, "max": 0.0}
+        lats = [e.latency for e in self.delivers]
+        return {"min": min(lats), "mean": sum(lats) / len(lats), "max": max(lats)}
+
+    def busy_intervals(self, rank: int) -> List[Tuple[float, float]]:
+        """Merged compute intervals of one rank, sorted by start."""
+        spans = sorted((e.start, e.end) for e in self.computes if e.rank == rank)
+        merged: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+
+def render_timeline(tracer: Tracer, topology: Topology, until: float,
+                    width: int = 72, ranks: Optional[Sequence[int]] = None) -> str:
+    """Per-rank text Gantt over [0, until], ``width`` time bins wide."""
+    if until <= 0:
+        return "(empty timeline)"
+    ranks = list(ranks if ranks is not None else topology.ranks())
+    bin_width = until / width
+
+    def bin_of(t: float) -> int:
+        return min(width - 1, max(0, int(t / bin_width)))
+
+    rows: Dict[int, List[str]] = {r: ["-"] * width for r in ranks}
+    for ev in tracer.computes:
+        if ev.rank in rows:
+            for b in range(bin_of(ev.start), bin_of(ev.end) + 1):
+                rows[ev.rank][b] = "#"
+    for ev in tracer.sends:
+        if ev.src in rows:
+            b = bin_of(ev.time)
+            if rows[ev.src][b] != "#":
+                rows[ev.src][b] = ">"
+    for ev in tracer.delivers:
+        if ev.dst in rows:
+            b = bin_of(ev.time)
+            if rows[ev.dst][b] == "-":
+                rows[ev.dst][b] = "<"
+
+    lines = [f"timeline 0 .. {until:.4f}s ({bin_width * 1e3:.2f} ms/bin); "
+             f"# compute, > send, < deliver, - idle"]
+    for r in ranks:
+        cluster = topology.cluster_of(r)
+        lines.append(f"rank {r:3d} (c{cluster}) |" + "".join(rows[r]) + "|")
+    if tracer.dropped:
+        lines.append(f"({tracer.dropped} events dropped beyond the cap)")
+    return "\n".join(lines)
+
+
+def utilization(tracer: Tracer, topology: Topology, until: float) -> Dict[int, float]:
+    """Fraction of [0, until] each rank spent computing."""
+    out = {}
+    for rank in topology.ranks():
+        busy = sum(end - start for start, end in tracer.busy_intervals(rank))
+        out[rank] = busy / until if until > 0 else 0.0
+    return out

@@ -1,0 +1,57 @@
+"""Unit coverage for the algorithm-selection experiment and breakdown."""
+
+import pytest
+
+from repro.experiments.algselect import (
+    OPERATING_POINTS,
+    OPERATIONS,
+    allreduce_candidates,
+    bcast_candidates,
+    main as algselect_main,
+    winners,
+)
+from repro.experiments.breakdown import measure as breakdown_measure
+
+
+def test_operating_points_cover_the_spectrum():
+    names = list(OPERATING_POINTS)
+    assert names[0] == "single cluster"
+    gaps = [OPERATING_POINTS[n].gap_latency() for n in names]
+    assert gaps == sorted(gaps)  # increasingly harsh
+
+
+def test_candidates_exist_for_every_operation():
+    for op, factory in OPERATIONS.items():
+        candidates = factory(1024)
+        assert len(candidates) >= 3
+        assert "MagPIe" in candidates
+
+
+def test_winners_returns_full_matrix():
+    best = winners(1024)
+    assert set(best) == {(op, pt) for op in OPERATIONS
+                         for pt in OPERATING_POINTS}
+    for (op, pt), name in best.items():
+        assert name in OPERATIONS[op](1024)
+
+
+def test_algselect_main_prints_tables(capsys):
+    algselect_main(["--size", "2048"])
+    out = capsys.readouterr().out
+    assert "Winner per cell" in out
+    assert "Rabenseifner" in out
+
+
+class TestBreakdown:
+    def test_shares_are_sane(self):
+        b = breakdown_measure("tsp", "unoptimized", 0.95, 10.0)
+        assert b.runtime > 0
+        assert 0 <= b.compute_pct <= 100
+        assert 0 <= b.blocked_pct <= 100.5
+        assert b.imbalance >= 1.0
+
+    def test_optimized_computes_more_blocks_less(self):
+        unopt = breakdown_measure("asp", "unoptimized", 0.95, 10.0)
+        opt = breakdown_measure("asp", "optimized", 0.95, 10.0)
+        assert opt.compute_pct > unopt.compute_pct
+        assert opt.blocked_pct < unopt.blocked_pct

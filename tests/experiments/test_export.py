@@ -1,0 +1,68 @@
+"""Tests for the CSV/JSON data exporter."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import grids
+from repro.experiments.export import (
+    DATASETS,
+    figure3_rows,
+    figure4_rows,
+    main,
+    to_csv,
+    to_json,
+)
+
+
+def test_figure3_rows_cover_requested_grid():
+    rows = figure3_rows(apps=["tsp"])
+    # unopt + opt, 6 bandwidths x 7 latencies each.
+    assert len(rows) == 2 * 6 * 7
+    variants = {r["variant"] for r in rows}
+    assert variants == {"unoptimized", "optimized"}
+    for row in rows:
+        assert 0 < row["relative_speedup_pct"] <= 110
+        assert row["bandwidth_mbyte_s"] in grids.BANDWIDTHS_MBYTE_S
+        assert row["latency_ms"] in grids.LATENCIES_MS
+
+
+def test_figure4_rows_have_both_panels():
+    rows = figure4_rows()
+    panels = {r["panel"] for r in rows}
+    assert panels == {"bandwidth", "latency"}
+    per_app = len(grids.BANDWIDTHS_MBYTE_S) + len(grids.LATENCIES_MS)
+    assert len(rows) == per_app * len(grids.APPS)
+
+
+def test_to_csv_round_trips():
+    rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+    text = to_csv(rows)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert parsed == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+    assert to_csv([]) == ""
+
+
+def test_to_json_round_trips():
+    rows = [{"a": 1.5}]
+    assert json.loads(to_json(rows)) == rows
+
+
+def test_main_writes_file(tmp_path, capsys):
+    out = tmp_path / "tsp.csv"
+    main(["figure3", "--apps", "tsp", "--out", str(out)])
+    text = out.read_text()
+    assert text.startswith("app,variant,")
+    assert text.count("\n") == 2 * 6 * 7 + 1  # header + rows
+
+
+def test_main_stdout_json(capsys):
+    main(["figure4", "--format", "json"])
+    rows = json.loads(capsys.readouterr().out)
+    assert rows and "communication_time_pct" in rows[0]
+
+
+def test_all_datasets_registered():
+    assert set(DATASETS) == {"table1", "figure1", "figure3", "figure4"}

@@ -1,0 +1,42 @@
+"""Tests for the terminal report renderers."""
+
+from repro.experiments.report import format_pct, render_series_chart, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "333" in out and "4" in out
+
+    def test_columns_align(self):
+        out = render_table(["col", "x"], [["long-value", "1"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(row) or abs(len(header) - len(row)) <= 1
+
+    def test_non_string_cells(self):
+        out = render_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestSeriesChart:
+    def test_renders_all_series_symbols(self):
+        chart = render_series_chart(
+            {"a": [100, 50, 0], "b": [0, 50, 100]},
+            ["x1", "x2", "x3"], "title")
+        assert "o=a" in chart and "x=b" in chart
+        assert chart.splitlines()[0] == "title"
+
+    def test_values_place_marks(self):
+        chart = render_series_chart({"only": [100.0, 0.0]}, ["l", "r"], "t")
+        assert "o" in chart
+
+    def test_x_labels_listed(self):
+        chart = render_series_chart({"s": [1, 2]}, ["6.3", "0.03"], "t")
+        assert "6.3, 0.03" in chart
+
+
+def test_format_pct():
+    assert format_pct(42.1234) == " 42.1%"

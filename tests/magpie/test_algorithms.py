@@ -1,0 +1,185 @@
+"""Tests for the classic collective algorithm families: semantics match
+the baseline implementations; performance tradeoffs match the textbook."""
+
+import operator
+
+import pytest
+
+from repro.magpie.algorithms import (
+    pairwise_alltoall,
+    rabenseifner_allreduce,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    scatter_allgather_bcast,
+)
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine
+
+
+def run_all(topo, body, seed=0):
+    machine = Machine(topo, seed=seed)
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    return machine
+
+
+TOPOS = [single_cluster(8), das_topology(clusters=2, cluster_size=4),
+         das_topology(clusters=4, cluster_size=4)]
+
+
+# ----------------------------------------------------------------------
+# Semantics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topo", TOPOS, ids=lambda t: t.describe()[:14])
+def test_ring_allgather_semantics(topo):
+    def body(ctx):
+        items = yield from ring_allgather(ctx, "r", 1024, ctx.rank * 7)
+        return items
+
+    machine = run_all(topo, body)
+    expected = [r * 7 for r in topo.ranks()]
+    assert all(result == expected for result in machine.results())
+
+
+@pytest.mark.parametrize("topo", TOPOS, ids=lambda t: t.describe()[:14])
+def test_recursive_doubling_allreduce_semantics(topo):
+    def body(ctx):
+        total = yield from recursive_doubling_allreduce(
+            ctx, "rd", 64, ctx.rank + 1, operator.add)
+        return total
+
+    machine = run_all(topo, body)
+    expected = sum(range(1, topo.num_ranks + 1))
+    assert all(result == expected for result in machine.results())
+
+
+@pytest.mark.parametrize("topo", TOPOS, ids=lambda t: t.describe()[:14])
+def test_rabenseifner_allreduce_semantics(topo):
+    p = topo.num_ranks
+
+    def body(ctx):
+        contribution = [ctx.rank * 10 + i for i in range(p)]
+        reduced = yield from rabenseifner_allreduce(
+            ctx, "rab", 256, contribution, operator.add)
+        return reduced
+
+    machine = run_all(topo, body)
+    expected = [sum(r * 10 + i for r in range(p)) for i in range(p)]
+    assert all(result == expected for result in machine.results())
+
+
+@pytest.mark.parametrize("topo", TOPOS, ids=lambda t: t.describe()[:14])
+def test_pairwise_alltoall_semantics(topo):
+    p = topo.num_ranks
+
+    def body(ctx):
+        out = yield from pairwise_alltoall(
+            ctx, "pw", 128, [ctx.rank * 100 + d for d in range(p)])
+        return out
+
+    machine = run_all(topo, body)
+    for rank, received in enumerate(machine.results()):
+        assert received == [src * 100 + rank for src in range(p)]
+
+
+@pytest.mark.parametrize("root", [0, 5])
+def test_van_de_geijn_bcast_semantics(root):
+    topo = das_topology(clusters=2, cluster_size=4)
+
+    def body(ctx):
+        out = yield from scatter_allgather_bcast(
+            ctx, "vdg", root, 64_000, {"w": 9} if ctx.rank == root else None)
+        return out
+
+    machine = run_all(topo, body)
+    assert all(result == {"w": 9} for result in machine.results())
+
+
+def test_power_of_two_required():
+    topo = single_cluster(6)
+
+    def body(ctx):
+        yield from recursive_doubling_allreduce(ctx, "x", 64, 1, operator.add)
+
+    machine = Machine(topo)
+    for r in range(6):
+        machine.spawn(r, body)
+    with pytest.raises(ValueError, match="power-of-two"):
+        machine.run()
+
+
+def test_rabenseifner_rejects_wrong_block_count():
+    topo = single_cluster(4)
+
+    def body(ctx):
+        yield from rabenseifner_allreduce(ctx, "x", 64, [1, 2], operator.add)
+
+    machine = Machine(topo)
+    for r in range(4):
+        machine.spawn(r, body)
+    with pytest.raises(ValueError, match="one block per rank"):
+        machine.run()
+
+
+# ----------------------------------------------------------------------
+# Textbook tradeoffs on the two-layer machine
+# ----------------------------------------------------------------------
+def test_ring_allgather_latency_bound_on_wan():
+    """The ring pays ~p sequential WAN latencies when it crosses clusters;
+    recursive-doubling style exchanges pay only log p."""
+    topo = das_topology(clusters=4, cluster_size=4,
+                        wan_latency_ms=30.0, wan_bandwidth_mbyte_s=6.0)
+
+    def ring_body(ctx):
+        yield from ring_allgather(ctx, "r", 64, ctx.rank)
+
+    def rd_body(ctx):
+        yield from recursive_doubling_allreduce(ctx, "rd", 64, ctx.rank,
+                                                operator.add)
+
+    t_ring = run_all(topo, ring_body).runtime()
+    t_rd = run_all(topo, rd_body).runtime()
+    assert t_ring > 1.8 * t_rd
+
+
+def test_van_de_geijn_wins_large_messages_flat_network():
+    """On one cluster, scatter+allgather moves ~2x the payload total while
+    a binomial tree moves payload * log2(p) from the root's perspective —
+    van de Geijn finishes sooner for large payloads."""
+    from repro.runtime.bcast import flat_bcast
+
+    topo = single_cluster(16)
+    size = 4_000_000  # 4 MB: firmly in the large-message regime
+
+    def vdg_body(ctx):
+        yield from scatter_allgather_bcast(ctx, "v", 0, size,
+                                           "x" if ctx.rank == 0 else None)
+
+    def tree_body(ctx):
+        yield from flat_bcast(ctx, "t", 0, size, "x" if ctx.rank == 0 else None)
+
+    t_vdg = run_all(topo, vdg_body).runtime()
+    t_tree = run_all(topo, tree_body).runtime()
+    assert t_vdg < t_tree
+
+
+def test_rabenseifner_moves_fewer_bytes_than_recursive_doubling():
+    """For vector allreduce, reduce-scatter+allgather halves the traffic."""
+    topo = single_cluster(8)
+    p = 8
+    size = 8192
+
+    def rd_body(ctx):
+        # Whole-vector exchange each round.
+        yield from recursive_doubling_allreduce(
+            ctx, "rd", size * p, [ctx.rank] * p,
+            lambda a, b: [x + y for x, y in zip(a, b)])
+
+    def rab_body(ctx):
+        yield from rabenseifner_allreduce(ctx, "rab", size, [ctx.rank] * p,
+                                          operator.add)
+
+    bytes_rd = run_all(topo, rd_body).stats.total_bytes
+    bytes_rab = run_all(topo, rab_body).stats.total_bytes
+    assert bytes_rab < 0.6 * bytes_rd

@@ -1,0 +1,192 @@
+"""Correctness tests: all 14 collectives, both implementations, agree on
+semantics; MagPIe versions minimize WAN traffic and win on slow WANs."""
+
+import operator
+
+import pytest
+
+from repro.magpie import COLLECTIVE_NAMES, get_impl, invoke
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine
+
+TOPOS = [
+    single_cluster(8),
+    das_topology(clusters=2, cluster_size=4),
+    das_topology(clusters=4, cluster_size=2),
+    das_topology(clusters=3, cluster_size=3),
+]
+
+
+def run_collective(topo, impl_name, name, size=1024, root=0, seed=0):
+    machine = Machine(topo, seed=seed)
+    impl = get_impl(impl_name)
+
+    def body(ctx):
+        result = yield from invoke(ctx, impl, name, op_id=name, size=size, root=root)
+        return result
+
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    return machine
+
+
+def expected_result(name, rank, p, root=0):
+    """Ground truth for invoke()'s synthetic argument sets."""
+    add = operator.add
+    if name == "barrier":
+        return None
+    if name == "bcast":
+        return {"data": name}
+    if name in ("gather", "gatherv"):
+        return list(range(p)) if rank == root else None
+    if name in ("scatter", "scatterv"):
+        return rank
+    if name in ("allgather", "allgatherv"):
+        return list(range(p))
+    if name in ("alltoall", "alltoallv"):
+        return [src * 1000 + rank for src in range(p)]
+    if name == "reduce":
+        total = sum(range(1, p + 1))
+        return total if rank == root else None
+    if name == "allreduce":
+        return sum(range(1, p + 1))
+    if name == "reduce_scatter":
+        return sum(src + rank for src in range(p))
+    if name == "scan":
+        return sum(r + 1 for r in range(rank + 1))
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize("impl_name", ["flat", "magpie"])
+@pytest.mark.parametrize("name", COLLECTIVE_NAMES)
+@pytest.mark.parametrize("topo", TOPOS, ids=lambda t: t.describe()[:20])
+def test_collective_semantics(impl_name, name, topo):
+    machine = run_collective(topo, impl_name, name)
+    p = topo.num_ranks
+    for rank, result in enumerate(machine.results()):
+        assert result == expected_result(name, rank, p), (
+            f"{impl_name}.{name} wrong on rank {rank}"
+        )
+
+
+@pytest.mark.parametrize("name", COLLECTIVE_NAMES)
+@pytest.mark.parametrize("root", [0, 5])
+def test_flat_and_magpie_agree(name, root):
+    topo = das_topology(clusters=2, cluster_size=4)
+    m_flat = run_collective(topo, "flat", name, root=root)
+    m_mag = run_collective(topo, "magpie", name, root=root)
+    assert m_flat.results() == m_mag.results()
+
+
+@pytest.mark.parametrize("name", ["bcast", "gather", "scatter",
+                                  "allreduce", "allgather", "barrier"])
+def test_magpie_uses_fewer_wan_messages(name):
+    topo = das_topology(clusters=4, cluster_size=8)
+    m_flat = run_collective(topo, "flat", name)
+    m_mag = run_collective(topo, "magpie", name)
+    assert m_mag.stats.inter.messages < m_flat.stats.inter.messages
+
+
+@pytest.mark.parametrize("name", ["reduce", "scan"])
+def test_magpie_never_uses_more_wan_messages(name):
+    """With cluster-major ranks and power-of-2 clusters, a flat binomial
+    reduce / chain scan is accidentally WAN-minimal (3 messages); MagPIe
+    must match it, not beat it."""
+    topo = das_topology(clusters=4, cluster_size=8)
+    m_flat = run_collective(topo, "flat", name)
+    m_mag = run_collective(topo, "magpie", name)
+    assert m_mag.stats.inter.messages <= m_flat.stats.inter.messages
+
+
+@pytest.mark.parametrize("name", ["bcast", "gather", "scatter", "reduce"])
+def test_magpie_wan_messages_are_cluster_count_minus_one(name):
+    """Rooted single-direction collectives: exactly one WAN message per
+    remote cluster — the data crosses each WAN link once."""
+    topo = das_topology(clusters=4, cluster_size=8)
+    m_mag = run_collective(topo, "magpie", name)
+    assert m_mag.stats.inter.messages == 3
+
+
+def test_magpie_alltoall_wan_messages_minimal():
+    topo = das_topology(clusters=4, cluster_size=8)
+    m_flat = run_collective(topo, "flat", "alltoall")
+    m_mag = run_collective(topo, "magpie", "alltoall")
+    # Flat: every rank sends to all 24 remote ranks = 768 WAN messages.
+    assert m_flat.stats.inter.messages == 32 * 24
+    # MagPIe: one combined message per ordered cluster pair = 12.
+    assert m_mag.stats.inter.messages == 12
+
+
+# Operations where the two-level structure is a strict win at 10 ms /
+# 1 MByte/s: fewer WAN latencies on the critical path.
+_STRICT_WINNERS = ("barrier", "bcast", "allgather", "allgatherv",
+                   "reduce", "allreduce", "reduce_scatter", "scan")
+# Bandwidth-dominated operations where staging at the coordinator buys
+# nothing once payloads are large (the same bytes must cross the same
+# links); MagPIe may only be marginally slower, never much worse.  This
+# mirrors the original MagPIe evaluation, whose headline speedups came
+# from the broadcast/reduce family.
+_PARITY_OPS = ("gather", "gatherv", "scatter", "scatterv",
+               "alltoall", "alltoallv")
+
+
+@pytest.mark.parametrize("name", _STRICT_WINNERS)
+def test_magpie_faster_on_high_latency_wan(name):
+    """Section 6: at 10 ms / 1 MByte/s MagPIe wins (latency-sensitive ops)."""
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    t_flat = run_collective(topo, "flat", name, size=4096).runtime()
+    t_mag = run_collective(topo, "magpie", name, size=4096).runtime()
+    assert t_mag < t_flat, f"{name}: magpie {t_mag} !< flat {t_flat}"
+
+
+@pytest.mark.parametrize("name", _PARITY_OPS)
+def test_magpie_parity_on_bandwidth_dominated_ops(name):
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    t_flat = run_collective(topo, "flat", name, size=4096).runtime()
+    t_mag = run_collective(topo, "magpie", name, size=4096).runtime()
+    assert t_mag <= t_flat * 1.15, f"{name}: magpie {t_mag} vs flat {t_flat}"
+
+
+def test_magpie_absolute_advantage_grows_with_latency():
+    """Section 6: the benefit of MagPIe grows for higher WAN latencies.
+
+    In this model the *absolute* time saved on a broadcast grows with
+    latency (the flat tree pays two sequential WAN hops, MagPIe one).
+    The speedup *ratio* saturates near 2 because with 4 fully-connected
+    clusters even a topology-unaware tree crosses the WAN at most twice —
+    see EXPERIMENTS.md for the discussion of this deviation.
+    """
+    def times(lat_ms):
+        topo = das_topology(clusters=4, cluster_size=8,
+                            wan_latency_ms=lat_ms, wan_bandwidth_mbyte_s=1.0)
+        t_flat = run_collective(topo, "flat", "bcast", size=1024).runtime()
+        t_mag = run_collective(topo, "magpie", "bcast", size=1024).runtime()
+        return t_flat, t_mag
+
+    f10, m10 = times(10.0)
+    f100, m100 = times(100.0)
+    assert m10 < f10 and m100 < f100
+    assert (f100 - m100) > (f10 - m10)
+
+
+def test_get_impl_aliases_and_errors():
+    assert get_impl("flat") is get_impl("mpich")
+    assert get_impl("magpie") is get_impl("hier")
+    with pytest.raises(ValueError, match="unknown"):
+        get_impl("bogus")
+
+
+def test_invoke_rejects_unknown_collective():
+    topo = single_cluster(2)
+    machine = Machine(topo)
+
+    def body(ctx):
+        yield from invoke(ctx, get_impl("flat"), "frobnicate", 0, 64)
+
+    machine.spawn(0, body)
+    machine.spawn(1, body)
+    with pytest.raises(ValueError, match="unknown collective"):
+        machine.run()

@@ -1,0 +1,55 @@
+"""Unit tests for link specifications."""
+
+import pytest
+
+from repro.network import MBYTE, MS, US, LinkSpec, myrinet, wan
+
+
+def test_myrinet_defaults_match_paper():
+    spec = myrinet()
+    assert spec.latency == pytest.approx(20e-6)
+    assert spec.bandwidth == pytest.approx(50e6)
+
+
+def test_wan_knob_units():
+    spec = wan(10.0, 1.0)  # 10 ms, 1 MByte/s
+    assert spec.latency == pytest.approx(0.010)
+    assert spec.bandwidth == pytest.approx(1e6)
+
+
+def test_transfer_time_scales_linearly():
+    spec = wan(1.0, 1.0)
+    assert spec.transfer_time(1_000_000) == pytest.approx(1.0)
+    assert spec.transfer_time(500_000) == pytest.approx(0.5)
+    assert spec.transfer_time(0) == 0.0
+
+
+def test_one_way_time_adds_latency():
+    spec = wan(100.0, 1.0)
+    assert spec.one_way_time(1_000_000) == pytest.approx(0.1 + 1.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(name="x", latency=-1.0, bandwidth=1.0),
+        dict(name="x", latency=0.0, bandwidth=0.0),
+        dict(name="x", latency=0.0, bandwidth=-5.0),
+        dict(name="x", latency=0.0, bandwidth=1.0, send_overhead=-1e-6),
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        LinkSpec(**kwargs)
+
+
+def test_units_constants():
+    assert MBYTE == 1e6
+    assert MS == 1e-3
+    assert US == 1e-6
+
+
+def test_specs_are_frozen():
+    spec = myrinet()
+    with pytest.raises(Exception):
+        spec.latency = 1.0

@@ -1,0 +1,50 @@
+"""Unit tests for traffic statistics."""
+
+import pytest
+
+from repro.network import TrafficStats
+
+
+def test_rates_per_cluster():
+    stats = TrafficStats(num_clusters=4)
+    stats.mark_start(0.0)
+    for _ in range(10):
+        stats.record_inter(0, 1, 1_000_000)
+    stats.mark_end(10.0)
+    # 10 MB over 10 s over 4 clusters = 0.25 MByte/s per cluster.
+    assert stats.inter_mbyte_per_s_per_cluster() == pytest.approx(0.25)
+    assert stats.inter_messages_per_s_per_cluster() == pytest.approx(0.25)
+
+
+def test_total_traffic_combines_layers():
+    stats = TrafficStats(num_clusters=2)
+    stats.mark_start(0.0)
+    stats.record_intra(3_000_000)
+    stats.record_inter(0, 1, 1_000_000)
+    stats.mark_end(2.0)
+    assert stats.total_bytes == 4_000_000
+    assert stats.total_messages == 2
+    assert stats.total_mbyte_per_s() == pytest.approx(2.0)
+
+
+def test_zero_duration_rates_are_zero():
+    stats = TrafficStats(num_clusters=4)
+    stats.record_inter(0, 1, 100)
+    assert stats.total_mbyte_per_s() == 0.0
+    assert stats.inter_mbyte_per_s_per_cluster() == 0.0
+
+
+def test_mark_start_excludes_startup():
+    stats = TrafficStats(num_clusters=1)
+    stats.mark_start(5.0)
+    stats.mark_end(15.0)
+    assert stats.duration == 10.0
+
+
+def test_summary_keys():
+    stats = TrafficStats(num_clusters=2)
+    stats.mark_end(1.0)
+    s = stats.summary()
+    for key in ("duration_s", "inter_messages", "total_mbyte_per_s",
+                "inter_mbyte_per_s_per_cluster"):
+        assert key in s

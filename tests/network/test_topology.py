@@ -1,0 +1,90 @@
+"""Unit + property tests for the two-layer topology."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import Topology, das_topology, myrinet, single_cluster, wan
+
+
+def test_das_default_shape():
+    topo = das_topology()
+    assert topo.num_clusters == 4
+    assert topo.num_ranks == 32
+    assert topo.cluster_sizes == (8, 8, 8, 8)
+
+
+def test_rank_to_cluster_mapping():
+    topo = das_topology(clusters=4, cluster_size=8)
+    assert topo.cluster_of(0) == 0
+    assert topo.cluster_of(7) == 0
+    assert topo.cluster_of(8) == 1
+    assert topo.cluster_of(31) == 3
+
+
+def test_cluster_members_and_leader():
+    topo = das_topology(clusters=3, cluster_size=4)
+    assert list(topo.cluster_members(1)) == [4, 5, 6, 7]
+    assert topo.cluster_leader(2) == 8
+    assert topo.local_index(6) == 2
+
+
+def test_same_cluster():
+    topo = das_topology(clusters=2, cluster_size=4)
+    assert topo.same_cluster(0, 3)
+    assert not topo.same_cluster(3, 4)
+
+
+def test_heterogeneous_cluster_sizes():
+    topo = Topology((24, 24, 24, 128), myrinet(), wan(1.25, 0.55))
+    assert topo.num_ranks == 200
+    assert topo.cluster_of(71) == 2
+    assert topo.cluster_of(72) == 3
+    assert topo.cluster_leader(3) == 72
+
+
+def test_wan_pairs_fully_connected():
+    topo = das_topology(clusters=4)
+    pairs = list(topo.wan_pairs())
+    assert len(pairs) == 12  # 4*3 ordered pairs -> 12 simplex channels
+    assert (0, 1) in pairs and (1, 0) in pairs
+    assert (2, 2) not in pairs
+
+
+def test_gaps():
+    topo = das_topology(wan_latency_ms=10.0, wan_bandwidth_mbyte_s=0.5)
+    assert topo.gap_bandwidth() == pytest.approx(50.0 / 0.5)
+    assert topo.gap_latency() == pytest.approx(0.010 / 20e-6)
+
+
+def test_single_cluster_has_no_wan():
+    topo = single_cluster(32)
+    assert topo.num_clusters == 1
+    assert list(topo.wan_pairs()) == []
+    assert topo.gap_latency() == pytest.approx(1.0)
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(ValueError):
+        Topology((), myrinet(), wan(1, 1))
+    with pytest.raises(ValueError):
+        Topology((4, 0), myrinet(), wan(1, 1))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=8))
+def test_rank_cluster_mapping_is_a_partition(sizes):
+    topo = Topology(tuple(sizes), myrinet(), wan(1.0, 1.0))
+    seen = []
+    for cid in topo.clusters():
+        members = list(topo.cluster_members(cid))
+        assert members, "clusters are non-empty"
+        for r in members:
+            assert topo.cluster_of(r) == cid
+            assert topo.local_index(r) == r - topo.cluster_leader(cid)
+        seen.extend(members)
+    assert seen == list(topo.ranks())
+
+
+def test_describe_mentions_shape():
+    text = das_topology().describe()
+    assert "4 clusters" in text and "8x8x8x8" in text

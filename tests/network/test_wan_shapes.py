@@ -1,0 +1,98 @@
+"""Tests for star/ring wide-area topologies (Section 5.1's prediction)."""
+
+import pytest
+
+from repro.network import Message, Router, Topology, myrinet, wan
+from repro.sim import Engine
+
+
+def shaped(shape, clusters=4, size=2, hub=0, latency_ms=10.0, bw=1.0):
+    return Topology(tuple([size] * clusters), myrinet(), wan(latency_ms, bw),
+                    wan_shape=shape, wan_hub=hub)
+
+
+def deliver_time(topo, src, dst, size=1000):
+    router = Router(topo)
+    engine = Engine()
+    msg = Message(src=src, dst=dst, tag="t", size=size)
+    router.route(msg, 0.0, engine, lambda m: None)
+    engine.run()
+    return msg.deliver_time
+
+
+class TestShapes:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="wan_shape"):
+            shaped("bus")
+
+    def test_star_hub_out_of_range(self):
+        with pytest.raises(ValueError, match="wan_hub"):
+            shaped("star", hub=9)
+
+    def test_link_counts(self):
+        assert len(list(shaped("full").wan_pairs())) == 12
+        assert len(list(shaped("star").wan_pairs())) == 6
+        assert len(list(shaped("ring").wan_pairs())) == 8
+        # Two clusters: the ring degenerates to one duplex link.
+        assert len(list(shaped("ring", clusters=2).wan_pairs())) == 2
+
+    def test_full_routes_are_single_hop(self):
+        topo = shaped("full")
+        assert topo.wan_route(1, 3) == [(1, 3)]
+        assert topo.wan_route(2, 2) == []
+
+    def test_star_routes_via_hub(self):
+        topo = shaped("star", hub=0)
+        assert topo.wan_route(1, 3) == [(1, 0), (0, 3)]
+        assert topo.wan_route(0, 2) == [(0, 2)]
+        assert topo.wan_route(2, 0) == [(2, 0)]
+
+    def test_ring_takes_shorter_arc(self):
+        topo = shaped("ring", clusters=5)
+        assert topo.wan_route(0, 1) == [(0, 1)]
+        assert topo.wan_route(0, 4) == [(0, 4)]          # backwards is shorter
+        assert topo.wan_route(0, 2) == [(0, 1), (1, 2)]
+        assert len(topo.wan_route(0, 3)) == 2            # either arc, 2 hops
+
+    def test_every_route_uses_existing_links(self):
+        for shape in ("full", "star", "ring"):
+            topo = shaped(shape, clusters=5)
+            links = set(topo.wan_pairs())
+            for a in topo.clusters():
+                for b in topo.clusters():
+                    for hop in topo.wan_route(a, b):
+                        assert hop in links, (shape, a, b, hop)
+
+
+class TestShapedDelivery:
+    def test_star_spoke_to_spoke_pays_two_wan_hops(self):
+        direct = deliver_time(shaped("full"), src=2, dst=6)       # clusters 1->3
+        via_hub = deliver_time(shaped("star"), src=2, dst=6)
+        # Two WAN latencies + the hub gateway instead of one hop.
+        assert via_hub > direct + 0.009
+
+    def test_star_to_hub_equals_full(self):
+        topo_star = shaped("star", hub=0)
+        topo_full = shaped("full")
+        assert deliver_time(topo_star, src=2, dst=0) == pytest.approx(
+            deliver_time(topo_full, src=2, dst=0))
+
+    def test_ring_cost_grows_with_distance(self):
+        topo = shaped("ring", clusters=6)
+        one_hop = deliver_time(topo, src=0, dst=2)    # cluster 0 -> 1
+        three_hops = deliver_time(topo, src=0, dst=6) # cluster 0 -> 3
+        assert three_hops > one_hop * 2.5
+
+    def test_hub_gateway_serializes_relay_traffic(self):
+        """Spoke-to-spoke floods queue on the hub's gateway CPU."""
+        topo = shaped("star", hub=0, bw=6.0)
+        router = Router(topo)
+        engine = Engine()
+        messages = [Message(src=2, dst=6, tag=i, size=64) for i in range(50)]
+        for m in messages:
+            router.route(m, 0.0, engine, lambda _m: None)
+        engine.run()
+        # The hub handled every relayed message once.
+        assert router.gateway_cpu(0).uses == 50
+        span = messages[-1].deliver_time - messages[0].deliver_time
+        assert span >= 49 * topo.gateway_overhead * 0.99

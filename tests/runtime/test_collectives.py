@@ -1,0 +1,187 @@
+"""Tests for barriers, broadcasts and reductions (flat and hierarchical)."""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import (
+    Machine,
+    allreduce,
+    binomial_reduce,
+    flat_barrier,
+    flat_bcast,
+    hier_bcast,
+    hier_reduce,
+    linear_reduce,
+    tree_barrier,
+)
+
+
+def run_all(topo, body):
+    machine = Machine(topo)
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    return machine
+
+
+# ----------------------------------------------------------------------
+# Barriers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("barrier", [flat_barrier, tree_barrier])
+@pytest.mark.parametrize("topo", [single_cluster(8), das_topology(clusters=4, cluster_size=4)])
+def test_barrier_synchronizes(barrier, topo):
+    after = {}
+
+    def body(ctx):
+        yield ctx.compute(0.1 * (ctx.rank + 1))  # staggered arrivals
+        yield from barrier(ctx, barrier_id=0)
+        after[ctx.rank] = ctx.now
+
+    run_all(topo, body)
+    slowest_arrival = 0.1 * topo.num_ranks
+    assert all(t >= slowest_arrival for t in after.values())
+
+
+@pytest.mark.parametrize("barrier", [flat_barrier, tree_barrier])
+def test_consecutive_barriers_do_not_mix(barrier):
+    topo = das_topology(clusters=2, cluster_size=2)
+    crossings = []
+
+    def body(ctx):
+        for i in range(3):
+            yield from barrier(ctx, barrier_id=i)
+            crossings.append((i, ctx.rank))
+
+    run_all(topo, body)
+    # All ranks must cross barrier i before any crosses barrier i+1.
+    order = [i for i, _ in crossings]
+    assert order == sorted(order)
+
+
+def test_tree_barrier_uses_fewer_wan_messages():
+    topo = das_topology(clusters=4, cluster_size=8)
+
+    def flat_body(ctx):
+        yield from flat_barrier(ctx, 0)
+
+    def tree_body(ctx):
+        yield from tree_barrier(ctx, 0)
+
+    m_flat = run_all(topo, flat_body)
+    m_tree = run_all(topo, tree_body)
+    assert m_tree.stats.inter.messages < m_flat.stats.inter.messages
+    # Tree: one arrive + one release per non-root cluster = 6 WAN messages.
+    assert m_tree.stats.inter.messages == 6
+    # Flat: 24 remote ranks send arrive and receive release = 48.
+    assert m_flat.stats.inter.messages == 48
+
+
+# ----------------------------------------------------------------------
+# Broadcast
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bcast", [flat_bcast, hier_bcast])
+@pytest.mark.parametrize("root", [0, 3, 9])
+def test_bcast_delivers_payload_everywhere(bcast, root):
+    topo = das_topology(clusters=3, cluster_size=4)
+    received = {}
+
+    def body(ctx):
+        payload = {"rows": [1, 2, 3]} if ctx.rank == root else None
+        out = yield from bcast(ctx, "b0", root, 4096, payload)
+        received[ctx.rank] = out
+
+    run_all(topo, body)
+    assert all(received[r] == {"rows": [1, 2, 3]} for r in topo.ranks())
+
+
+def test_hier_bcast_sends_once_per_remote_cluster():
+    topo = das_topology(clusters=4, cluster_size=8)
+
+    def flat_body(ctx):
+        yield from flat_bcast(ctx, 0, 0, 4096, "x" if ctx.rank == 0 else None)
+
+    def hier_body(ctx):
+        yield from hier_bcast(ctx, 0, 0, 4096, "x" if ctx.rank == 0 else None)
+
+    m_hier = run_all(topo, hier_body)
+    assert m_hier.stats.inter.messages == 3  # exactly one per remote cluster
+    m_flat = run_all(topo, flat_body)
+    assert m_flat.stats.inter.messages > 3
+
+
+def test_hier_bcast_faster_on_slow_wan():
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=30.0, wan_bandwidth_mbyte_s=0.5)
+
+    def flat_body(ctx):
+        yield from flat_bcast(ctx, 0, 0, 65536, "x" if ctx.rank == 0 else None)
+
+    def hier_body(ctx):
+        yield from hier_bcast(ctx, 0, 0, 65536, "x" if ctx.rank == 0 else None)
+
+    t_flat = run_all(topo, flat_body).runtime()
+    t_hier = run_all(topo, hier_body).runtime()
+    assert t_hier < t_flat
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("reduce_fn", [linear_reduce, binomial_reduce, hier_reduce])
+@pytest.mark.parametrize("root", [0, 5])
+def test_reduce_computes_sum(reduce_fn, root):
+    topo = das_topology(clusters=2, cluster_size=4)
+    results = {}
+
+    def body(ctx):
+        out = yield from reduce_fn(ctx, "r0", root, 64, ctx.rank + 1,
+                                   lambda a, b: a + b)
+        results[ctx.rank] = out
+
+    run_all(topo, body)
+    expected = sum(range(1, topo.num_ranks + 1))
+    assert results[root] == expected
+    assert all(v is None for r, v in results.items() if r != root)
+
+
+def test_linear_reduce_deterministic_for_noncommutative_op():
+    topo = single_cluster(4)
+    results = {}
+
+    def body(ctx):
+        out = yield from linear_reduce(ctx, "r", 0, 64, [ctx.rank],
+                                       lambda a, b: a + b)  # list concat
+        results[ctx.rank] = out
+
+    run_all(topo, body)
+    assert results[0] == [0, 1, 2, 3]  # ascending-rank order
+
+
+def test_hier_reduce_wan_messages():
+    topo = das_topology(clusters=4, cluster_size=8)
+
+    def lin_body(ctx):
+        yield from linear_reduce(ctx, "r", 0, 1024, 1, lambda a, b: a + b)
+
+    def hier_body(ctx):
+        yield from hier_reduce(ctx, "r", 0, 1024, 1, lambda a, b: a + b)
+
+    m_lin = run_all(topo, lin_body)
+    m_hier = run_all(topo, hier_body)
+    assert m_hier.stats.inter.messages == 3
+    assert m_lin.stats.inter.messages == 24
+
+
+@pytest.mark.parametrize("hierarchical", [False, True])
+def test_allreduce_everyone_gets_result(hierarchical):
+    topo = das_topology(clusters=2, cluster_size=4)
+    results = {}
+
+    def body(ctx):
+        out = yield from allreduce(ctx, "ar", 64, ctx.rank,
+                                   lambda a, b: a + b, hierarchical=hierarchical)
+        results[ctx.rank] = out
+
+    run_all(topo, body)
+    expected = sum(range(topo.num_ranks))
+    assert all(v == expected for v in results.values())

@@ -1,0 +1,71 @@
+"""Extra collective coverage: subgroup barriers, custom roots, stacking."""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine, allreduce, flat_barrier, hier_reduce
+
+
+def test_flat_barrier_over_a_subgroup():
+    """Only the listed ranks participate; outsiders proceed untouched."""
+    topo = single_cluster(6)
+    machine = Machine(topo)
+    group = [1, 3, 5]
+    crossed = {}
+
+    def member(ctx):
+        yield ctx.compute(0.05 * ctx.rank)
+        yield from flat_barrier(ctx, "sub", root=1, ranks=group)
+        crossed[ctx.rank] = ctx.now
+
+    def outsider(ctx):
+        yield ctx.compute(0.001)
+        crossed[ctx.rank] = ctx.now
+
+    for r in range(6):
+        machine.spawn(r, member if r in group else outsider)
+    machine.run()
+    slowest_member = 0.05 * max(group)
+    for r in group:
+        assert crossed[r] >= slowest_member
+    for r in (0, 2, 4):
+        assert crossed[r] < 0.01  # never waited
+
+
+@pytest.mark.parametrize("root", [0, 3, 7])
+def test_allreduce_alternate_root(root):
+    topo = das_topology(clusters=2, cluster_size=4)
+    machine = Machine(topo)
+
+    def body(ctx):
+        out = yield from allreduce(ctx, "ar", 64, ctx.rank,
+                                   lambda a, b: a + b, hierarchical=True,
+                                   root=root)
+        return out
+
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    expected = sum(range(topo.num_ranks))
+    assert all(v == expected for v in machine.results())
+
+
+def test_back_to_back_hier_reduces_with_distinct_ids():
+    topo = das_topology(clusters=3, cluster_size=2)
+    machine = Machine(topo)
+
+    def body(ctx):
+        totals = []
+        for i in range(4):
+            out = yield from hier_reduce(ctx, ("r", i), 0, 64, ctx.rank + i,
+                                         lambda a, b: a + b)
+            totals.append(out)
+        return totals
+
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    p = topo.num_ranks
+    expected = [sum(r + i for r in range(p)) for i in range(4)]
+    assert machine.results()[0] == expected
+    assert all(v == [None] * 4 for v in machine.results()[1:])

@@ -1,0 +1,163 @@
+"""Tests for message combining, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import ITEM_HEADER_BYTES, Batch, CombiningBuffer, Machine
+
+
+def test_batch_wire_size_includes_headers():
+    batch = Batch()
+    batch.add("a", 100)
+    batch.add("b", 200)
+    assert batch.wire_size == 300 + 2 * ITEM_HEADER_BYTES
+    assert len(batch) == 2
+
+
+def test_flush_on_count_threshold():
+    machine = Machine(single_cluster(2))
+    received = []
+
+    def sender(ctx):
+        buf = CombiningBuffer(ctx, "items", flush_count=3, flush_bytes=10**9)
+        for i in range(7):
+            yield from buf.add(1, i, 10)
+        yield from buf.flush_all()
+        return buf.batches_sent
+
+    def receiver(ctx):
+        while len(received) < 7:
+            msg = yield ctx.recv("items")
+            received.extend(msg.payload.items)
+
+    machine.spawn(0, sender)
+    machine.spawn(1, receiver)
+    machine.run()
+    assert received == list(range(7))
+    assert machine.results()[0] == 3  # 3+3+1
+
+
+def test_flush_on_bytes_threshold():
+    machine = Machine(single_cluster(2))
+
+    def sender(ctx):
+        buf = CombiningBuffer(ctx, "items", flush_count=10**9, flush_bytes=250)
+        for i in range(5):
+            yield from buf.add(1, i, 100)  # flushes at item 3 (300 >= 250)...
+        yield from buf.flush_all()
+        return buf.batches_sent
+
+    def receiver(ctx):
+        got = 0
+        while got < 5:
+            msg = yield ctx.recv("items")
+            got += len(msg.payload.items)
+
+    machine.spawn(0, sender)
+    machine.spawn(1, receiver)
+    machine.run()
+    assert machine.results()[0] == 2
+
+
+def test_combining_reduces_wan_messages():
+    topo = das_topology(clusters=2, cluster_size=1)
+
+    def run(flush_count):
+        machine = Machine(topo)
+
+        def sender(ctx):
+            buf = CombiningBuffer(ctx, "u", flush_count=flush_count)
+            for i in range(64):
+                yield from buf.add(1, i, 16)
+            yield from buf.flush_all()
+
+        def receiver(ctx):
+            got = 0
+            while got < 64:
+                msg = yield ctx.recv("u")
+                got += len(msg.payload.items)
+
+        machine.spawn(0, sender)
+        machine.spawn(1, receiver)
+        machine.run()
+        return machine.stats.inter.messages
+
+    assert run(flush_count=1) == 64
+    assert run(flush_count=64) == 1
+
+
+def test_empty_flush_sends_nothing():
+    machine = Machine(single_cluster(2))
+
+    def sender(ctx):
+        buf = CombiningBuffer(ctx, "t")
+        yield from buf.flush(1)
+        yield from buf.flush_all()
+        yield ctx.compute(0)
+        return buf.batches_sent
+
+    def idle(ctx):
+        yield ctx.compute(0)
+
+    machine.spawn(0, sender)
+    machine.spawn(1, idle)
+    machine.run()
+    assert machine.results()[0] == 0
+    assert machine.stats.total_messages == 0
+
+
+def test_invalid_thresholds_rejected():
+    machine = Machine(single_cluster(1))
+
+    def body(ctx):
+        yield ctx.compute(0)
+
+    machine.spawn(0, body)
+    machine.run()
+    ctx_like = machine  # CombiningBuffer only stores ctx; validation is eager
+    with pytest.raises(ValueError):
+        CombiningBuffer(ctx_like, "t", flush_count=0)
+    with pytest.raises(ValueError):
+        CombiningBuffer(ctx_like, "t", flush_bytes=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=3),   # destination rank
+                  st.integers(min_value=1, max_value=500)),  # item size
+        min_size=1, max_size=60,
+    ),
+    flush_count=st.integers(min_value=1, max_value=20),
+    flush_bytes=st.integers(min_value=32, max_value=4096),
+)
+def test_combining_preserves_item_multiset(items, flush_count, flush_bytes):
+    """Every item added arrives exactly once at its destination, in order."""
+    machine = Machine(single_cluster(4))
+    per_dst = {1: [], 2: [], 3: []}
+    for idx, (dst, size) in enumerate(items):
+        per_dst[dst].append((idx, size))
+    received = {1: [], 2: [], 3: []}
+
+    def sender(ctx):
+        buf = CombiningBuffer(ctx, "pp", flush_count=flush_count,
+                              flush_bytes=flush_bytes)
+        for idx, (dst, size) in enumerate(items):
+            yield from buf.add(dst, (idx, size), size)
+        yield from buf.flush_all()
+
+    def make_receiver(rank):
+        def receiver(ctx):
+            want = len(per_dst[rank])
+            while len(received[rank]) < want:
+                msg = yield ctx.recv("pp")
+                received[rank].extend(msg.payload.items)
+        return receiver
+
+    machine.spawn(0, sender)
+    for r in (1, 2, 3):
+        machine.spawn(r, make_receiver(r))
+    machine.run()
+    assert received == per_dst

@@ -1,0 +1,152 @@
+"""Unit tests for Machine: spawning, transport, CPU clocks, deadlock."""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import DeadlockError, Machine
+from repro.runtime.machine import CpuClock
+
+
+class TestCpuClock:
+    def test_serializes_reservations(self):
+        cpu = CpuClock()
+        assert cpu.reserve(0.0, 1.0) == 1.0
+        assert cpu.reserve(0.5, 1.0) == 2.0  # waits for first reservation
+        assert cpu.reserve(5.0, 1.0) == 6.0  # idle gap is skipped
+        assert cpu.busy_time == pytest.approx(3.0)
+
+
+def test_simple_send_recv_between_ranks():
+    machine = Machine(single_cluster(2))
+    log = []
+
+    def sender(ctx):
+        yield ctx.send(1, 1000, "data", payload="hello")
+
+    def receiver(ctx):
+        msg = yield ctx.recv("data")
+        log.append((ctx.now, msg.payload, msg.src))
+
+    machine.spawn(0, sender)
+    machine.spawn(1, receiver)
+    machine.run()
+    assert len(log) == 1
+    t, payload, src = log[0]
+    assert payload == "hello" and src == 0
+    assert t > 0.0
+
+
+def test_recv_before_send_blocks_until_delivery():
+    machine = Machine(single_cluster(2))
+    times = {}
+
+    def sender(ctx):
+        yield ctx.compute(1.0)
+        yield ctx.send(1, 64, "late")
+
+    def receiver(ctx):
+        yield ctx.recv("late")
+        times["recv"] = ctx.now
+
+    machine.spawn(0, sender)
+    machine.spawn(1, receiver)
+    machine.run()
+    assert times["recv"] > 1.0
+    assert machine.rank_stats[1].recv_blocked_time > 0.9
+
+
+def test_deadlock_detection():
+    machine = Machine(single_cluster(2))
+
+    def stuck(ctx):
+        yield ctx.recv("never")
+
+    machine.spawn(0, stuck)
+    with pytest.raises(DeadlockError, match="never"):
+        machine.run()
+
+
+def test_timeout_detection():
+    machine = Machine(single_cluster(2))
+
+    def slow(ctx):
+        yield ctx.compute(100.0)
+
+    machine.spawn(0, slow)
+    with pytest.raises(TimeoutError):
+        machine.run(until=1.0)
+
+
+def test_daemon_does_not_keep_run_alive():
+    machine = Machine(single_cluster(2))
+
+    def server(ctx):
+        while True:
+            msg = yield ctx.recv("ping")
+            yield ctx.reply(msg, payload="pong")
+
+    def client(ctx):
+        answer = yield from ctx.rpc(1, "ping")
+        return answer
+
+    machine.spawn(1, server, name="rank1.server", daemon=True)
+    machine.spawn(0, client)
+    machine.run()  # must terminate even though the server loops forever
+    assert machine.results() == ["pong"]
+
+
+def test_runtime_is_slowest_rank():
+    machine = Machine(single_cluster(3))
+
+    def body_factory(duration):
+        def body(ctx):
+            yield ctx.compute(duration)
+        return body
+
+    for rank, dur in enumerate([1.0, 3.0, 2.0]):
+        machine.spawn(rank, body_factory(dur))
+    machine.run()
+    assert machine.runtime() == pytest.approx(3.0)
+
+
+def test_cross_cluster_message_counts_in_stats():
+    machine = Machine(das_topology(clusters=2, cluster_size=2))
+
+    def sender(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(2, 5000, "x")
+        elif ctx.rank == 2:
+            yield ctx.recv("x")
+        else:
+            yield ctx.compute(0.0)
+
+    for r in range(4):
+        machine.spawn(r, sender)
+    machine.run()
+    assert machine.stats.inter.messages == 1
+    assert machine.stats.inter.bytes == 5000
+
+
+def test_services_share_rank_cpu():
+    """A service's CPU reservations delay the main process on that rank."""
+    machine = Machine(single_cluster(2))
+    finish = {}
+
+    def busy_service(ctx):
+        yield ctx.compute(2.0)
+
+    def main0(ctx):
+        ctx.spawn_service(busy_service, name="busy")
+        yield ctx.compute(0.0)  # let the service start
+        yield ctx.compute(1.0)
+        finish["main"] = ctx.now
+
+    def idle(ctx):
+        yield ctx.compute(0.0)
+
+    machine.spawn(0, main0)
+    machine.spawn(1, idle)
+    machine.run()
+    # The service reserved 2.0 s of the rank-0 CPU first, so the main
+    # process's 1.0 s of work completes at ~3.0 s.
+    assert finish["main"] == pytest.approx(3.0, abs=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for the LFC-style intra-cluster multicast primitive."""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine
+
+
+def test_multicast_delivers_to_all_destinations():
+    machine = Machine(single_cluster(5))
+    got = {}
+
+    def sender(ctx):
+        yield ctx.multicast([1, 2, 3, 4], 3000, "row", payload={"k": 7})
+
+    def receiver(ctx):
+        msg = yield ctx.recv("row")
+        got[ctx.rank] = (ctx.now, msg.payload)
+
+    machine.spawn(0, sender)
+    for r in range(1, 5):
+        machine.spawn(r, receiver)
+    machine.run()
+    assert set(got) == {1, 2, 3, 4}
+    times = [t for t, _ in got.values()]
+    # Hardware multicast: everyone receives at the same instant.
+    assert max(times) - min(times) < 1e-9
+    assert all(p == {"k": 7} for _, p in got.values())
+
+
+def test_multicast_counts_payload_once():
+    machine = Machine(single_cluster(8))
+
+    def sender(ctx):
+        yield ctx.multicast(list(range(1, 8)), 6000, "bcast")
+
+    def receiver(ctx):
+        yield ctx.recv("bcast")
+
+    machine.spawn(0, sender)
+    for r in range(1, 8):
+        machine.spawn(r, receiver)
+    machine.run()
+    # One logical transfer, not seven.
+    assert machine.stats.intra.messages == 1
+    assert machine.stats.intra.bytes == 6000
+
+
+def test_multicast_cost_independent_of_fanout():
+    def run(nranks):
+        machine = Machine(single_cluster(nranks))
+        done = {}
+
+        def sender(ctx):
+            yield ctx.multicast(list(range(1, nranks)), 50_000, "x")
+
+        def receiver(ctx):
+            yield ctx.recv("x")
+            done[ctx.rank] = ctx.now
+
+        machine.spawn(0, sender)
+        for r in range(1, nranks):
+            machine.spawn(r, receiver)
+        machine.run()
+        return max(done.values())
+
+    assert run(4) == pytest.approx(run(16), rel=1e-9)
+
+
+def test_multicast_rejects_cross_cluster_destinations():
+    machine = Machine(das_topology(clusters=2, cluster_size=2))
+
+    def sender(ctx):
+        yield ctx.multicast([1, 2], 100, "bad")  # rank 2 is cluster 1
+
+    machine.spawn(0, sender)
+    with pytest.raises(ValueError, match="crosses clusters"):
+        machine.run()
+
+
+def test_multicast_serializes_on_sender_nic():
+    """Two back-to-back multicasts of the same size queue on the NIC."""
+    machine = Machine(single_cluster(3))
+    arrivals = []
+
+    def sender(ctx):
+        yield ctx.multicast([1, 2], 500_000, ("m", 0))  # 10 ms at 50 MB/s
+        yield ctx.multicast([1, 2], 500_000, ("m", 1))
+
+    def receiver(ctx):
+        for i in range(2):
+            msg = yield ctx.recv(("m", i))
+            arrivals.append((i, ctx.now))
+
+    machine.spawn(0, sender)
+    machine.spawn(1, receiver)
+    machine.spawn(2, receiver)
+    machine.run()
+    first = min(t for i, t in arrivals if i == 0)
+    second = min(t for i, t in arrivals if i == 1)
+    assert second - first == pytest.approx(0.01, rel=0.05)

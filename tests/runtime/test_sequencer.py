@@ -1,0 +1,110 @@
+"""Tests for the (migratable) sequencer service."""
+
+import pytest
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine, SequencerService, get_seq, migrate_sequencer
+
+
+def test_sequence_numbers_are_consecutive_and_unique():
+    machine = Machine(single_cluster(4))
+    service = SequencerService(initially_active=True)
+    got = []
+
+    def seq_host(ctx):
+        ctx.spawn_service(service.body, name="seq")
+        yield ctx.compute(0)
+
+    def client(ctx):
+        for _ in range(5):
+            s = yield from get_seq(ctx, 0)
+            got.append(s)
+
+    machine.spawn(0, seq_host)
+    for r in (1, 2, 3):
+        machine.spawn(r, client)
+    machine.run()
+    assert sorted(got) == list(range(15))
+    assert service.requests_served == 15
+
+
+def test_total_order_is_globally_consistent():
+    """Numbers handed out earlier in time are smaller."""
+    machine = Machine(das_topology(clusters=2, cluster_size=2))
+    service = SequencerService(initially_active=True)
+    stamped = []
+
+    def seq_host(ctx):
+        ctx.spawn_service(service.body, name="seq")
+        yield ctx.compute(0)
+
+    def client(ctx):
+        yield ctx.compute(0.001 * ctx.rank)
+        s = yield from get_seq(ctx, 0)
+        stamped.append((ctx.now, s))
+
+    machine.spawn(0, seq_host)
+    for r in (1, 2, 3):
+        machine.spawn(r, client)
+    machine.run()
+    stamped.sort()
+    seqs = [s for _, s in stamped]
+    assert seqs == sorted(seqs)
+
+
+def test_migration_moves_the_counter():
+    topo = das_topology(clusters=2, cluster_size=2)
+    machine = Machine(topo)
+    services = {0: SequencerService(initially_active=True),
+                2: SequencerService(initially_active=False)}
+    got = []
+
+    def host(ctx):
+        ctx.spawn_service(services[ctx.rank].body, name="seq")
+        yield ctx.compute(0)
+
+    def driver(ctx):
+        s1 = yield from get_seq(ctx, 0)
+        s2 = yield from get_seq(ctx, 0)
+        ack = yield from migrate_sequencer(ctx, from_rank=0, to_rank=2)
+        assert ack == "migrated"
+        s3 = yield from get_seq(ctx, 2)
+        s4 = yield from get_seq(ctx, 2)
+        got.extend([s1, s2, s3, s4])
+
+    machine.spawn(0, host)
+    machine.spawn(2, host)
+    machine.spawn(1, driver)
+    machine.run()
+    assert got == [0, 1, 2, 3]  # counter survived the migration
+
+
+def test_local_sequencer_is_cheaper_than_remote():
+    """A client co-located with the sequencer pays no WAN round trip."""
+    topo = das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=50.0, wan_bandwidth_mbyte_s=1.0)
+
+    def run(seq_rank, client_rank):
+        machine = Machine(topo)
+        service = SequencerService(initially_active=True)
+
+        def host(ctx):
+            ctx.spawn_service(service.body, name="seq")
+            yield ctx.compute(0)
+
+        elapsed = {}
+
+        def client(ctx):
+            t0 = ctx.now
+            yield from get_seq(ctx, seq_rank)
+            elapsed["dt"] = ctx.now - t0
+
+        machine.spawn(seq_rank, host)
+        machine.spawn(client_rank, client)
+        machine.run()
+        return elapsed["dt"]
+
+    local = run(seq_rank=0, client_rank=1)
+    remote = run(seq_rank=0, client_rank=2)
+    assert remote > 0.1          # two WAN latencies
+    assert local < 0.001

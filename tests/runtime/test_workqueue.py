@@ -1,0 +1,158 @@
+"""Tests for centralized and distributed (stealing) work queues."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import das_topology, single_cluster
+from repro.runtime import (
+    AccountantService,
+    CentralQueueService,
+    ClusterQueueService,
+    Machine,
+    get_central_job,
+    get_cluster_job,
+    report_job_done,
+)
+
+
+def run_central(topo, jobs, work_time=0.001):
+    """All ranks are workers; rank 0 additionally hosts the queue."""
+    machine = Machine(topo)
+    service = CentralQueueService(list(jobs))
+    executed = []
+
+    def worker(ctx):
+        if ctx.rank == 0:
+            ctx.spawn_service(service.body, name="queue")
+        done = []
+        while True:
+            job = yield from get_central_job(ctx, 0)
+            if job is None:
+                break
+            yield ctx.compute(work_time)
+            executed.append(job)
+            done.append(job)
+        return done
+
+    for r in topo.ranks():
+        machine.spawn(r, worker)
+    machine.run()
+    return machine, executed
+
+
+class TestCentralQueue:
+    def test_every_job_executed_exactly_once(self):
+        machine, executed = run_central(single_cluster(4), range(40))
+        assert sorted(executed) == list(range(40))
+
+    def test_all_workers_terminate_on_empty_queue(self):
+        machine, executed = run_central(single_cluster(4), [])
+        assert executed == []
+
+    def test_work_is_shared(self):
+        machine, _ = run_central(single_cluster(4), range(40), work_time=0.01)
+        per_worker = [len(r) for r in machine.results()]
+        assert sum(per_worker) == 40
+        assert all(n > 0 for n in per_worker)
+
+    def test_remote_workers_pay_wan_round_trip(self):
+        topo = das_topology(clusters=2, cluster_size=2,
+                            wan_latency_ms=20.0, wan_bandwidth_mbyte_s=1.0)
+        machine, _ = run_central(topo, range(8), work_time=0.0)
+        # Each remote get is >= 2 * 20 ms; runtime must reflect that.
+        assert machine.runtime() > 0.04
+
+
+def run_distributed(topo, jobs, work_time=0.001, imbalanced=False, seed=0):
+    """Cluster leaders host queues; rank 0 hosts the accountant."""
+    machine = Machine(topo, seed=seed)
+    leaders = [topo.cluster_leader(c) for c in topo.clusters()]
+    jobs = list(jobs)
+    if imbalanced:
+        shares = [jobs if c == 0 else [] for c in topo.clusters()]
+    else:
+        shares = [jobs[c::topo.num_clusters] for c in topo.clusters()]
+    services = {}
+    for cid, leader in enumerate(leaders):
+        peers = [l for l in leaders if l != leader]
+        services[leader] = ClusterQueueService(shares[cid], peers)
+    accountant = AccountantService(len(jobs), leaders)
+    executed = []
+
+    def worker(ctx):
+        if ctx.rank in services:
+            ctx.spawn_service(services[ctx.rank].body, name="queue")
+        if ctx.rank == 0:
+            ctx.spawn_service(accountant.body, name="accountant")
+        my_leader = ctx.topology.cluster_leader(ctx.cluster)
+        done = []
+        request_id = 0
+        while True:
+            job = yield from get_cluster_job(ctx, my_leader, request_id)
+            request_id += 1
+            if job is None:
+                break
+            yield ctx.compute(work_time)
+            executed.append(job)
+            done.append(job)
+            yield from report_job_done(ctx, 0)
+        return done
+
+    for r in topo.ranks():
+        machine.spawn(r, worker)
+    machine.run()
+    return machine, executed, services
+
+
+class TestDistributedQueue:
+    def test_every_job_executed_exactly_once_balanced(self):
+        topo = das_topology(clusters=4, cluster_size=2)
+        _, executed, _ = run_distributed(topo, range(64))
+        assert sorted(executed) == list(range(64))
+
+    def test_every_job_executed_exactly_once_imbalanced(self):
+        """All jobs start in cluster 0; stealing must distribute them."""
+        topo = das_topology(clusters=4, cluster_size=2)
+        _, executed, services = run_distributed(
+            topo, range(64), work_time=0.01, imbalanced=True
+        )
+        assert sorted(executed) == list(range(64))
+        stolen = sum(s.jobs_stolen_in for s in services.values())
+        assert stolen > 0, "work stealing must have occurred"
+
+    def test_termination_with_no_jobs(self):
+        topo = das_topology(clusters=2, cluster_size=2)
+        _, executed, _ = run_distributed(topo, [])
+        assert executed == []
+
+    def test_local_gets_avoid_wan(self):
+        """With balanced queues and equal work, (almost) no WAN job traffic."""
+        topo = das_topology(clusters=4, cluster_size=2)
+        machine, _, services = run_distributed(topo, range(80), work_time=0.01)
+        stolen = sum(s.jobs_stolen_in for s in services.values())
+        assert stolen <= 8  # only end-of-run stragglers steal
+
+    def test_distributed_beats_central_on_slow_wan(self):
+        topo = das_topology(clusters=4, cluster_size=2,
+                            wan_latency_ms=30.0, wan_bandwidth_mbyte_s=0.5)
+        m_central, _ = run_central(topo, range(64), work_time=0.005)
+        m_dist, _, _ = run_distributed(topo, range(64), work_time=0.005)
+        assert m_dist.runtime() < m_central.runtime() * 0.6
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_jobs=st.integers(min_value=0, max_value=40),
+    work_time=st.floats(min_value=0.0, max_value=0.01),
+    imbalanced=st.booleans(),
+    seed=st.integers(min_value=0, max_value=10),
+)
+def test_distributed_queue_never_loses_or_duplicates_jobs(
+    num_jobs, work_time, imbalanced, seed
+):
+    topo = das_topology(clusters=3, cluster_size=2)
+    _, executed, _ = run_distributed(
+        topo, range(num_jobs), work_time=work_time, imbalanced=imbalanced, seed=seed
+    )
+    assert sorted(executed) == list(range(num_jobs))

@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_starts_at_time_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+    assert eng.pending == 0
+
+
+def test_call_at_runs_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.call_at(2.0, lambda: fired.append("b"))
+    eng.call_at(1.0, lambda: fired.append("a"))
+    eng.call_at(3.0, lambda: fired.append("c"))
+    eng.run()
+    assert fired == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    fired = []
+    for label in "abcde":
+        eng.call_at(1.0, lambda label=label: fired.append(label))
+    eng.run()
+    assert fired == list("abcde")
+
+
+def test_call_after_is_relative():
+    eng = Engine()
+    times = []
+    eng.call_at(5.0, lambda: eng.call_after(2.5, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [7.5]
+
+
+def test_scheduling_in_the_past_raises():
+    eng = Engine()
+    eng.call_at(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_after(-1.0, lambda: None)
+
+
+def test_nan_time_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_at(math.nan, lambda: None)
+
+
+def test_run_until_is_inclusive_and_stops_clock():
+    eng = Engine()
+    fired = []
+    eng.call_at(1.0, lambda: fired.append(1))
+    eng.call_at(2.0, lambda: fired.append(2))
+    eng.call_at(3.0, lambda: fired.append(3))
+    eng.run(until=2.0)
+    assert fired == [1, 2]
+    assert eng.now == 2.0
+    assert eng.pending == 1
+
+
+def test_run_max_events():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.call_at(float(i), lambda i=i: fired.append(i))
+    eng.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_returns_false_when_idle():
+    eng = Engine()
+    assert eng.step() is False
+
+
+def test_events_cascade():
+    """Events scheduled from inside events run at their proper times."""
+    eng = Engine()
+    trace = []
+
+    def first():
+        trace.append(("first", eng.now))
+        eng.call_after(1.0, second)
+
+    def second():
+        trace.append(("second", eng.now))
+
+    eng.call_at(1.0, first)
+    eng.run()
+    assert trace == [("first", 1.0), ("second", 2.0)]
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    assert eng.peek() == math.inf
+    eng.call_at(4.2, lambda: None)
+    assert eng.peek() == 4.2
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(5):
+        eng.call_at(float(i), lambda: None)
+    eng.run()
+    assert eng.events_processed == 5
+
+
+def test_zero_delay_event_runs_at_current_time():
+    eng = Engine()
+    times = []
+    eng.call_at(3.0, lambda: eng.call_after(0.0, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [3.0]

@@ -1,0 +1,173 @@
+"""Unit tests for generator-based processes and engine syscalls."""
+
+import pytest
+
+from repro.sim import (
+    Engine,
+    GetFromMailbox,
+    Immediate,
+    Mailbox,
+    Process,
+    Sleep,
+    SimEvent,
+    WaitEvent,
+)
+
+
+def run_body(body, until=None):
+    eng = Engine()
+    proc = Process(eng, body, name="t").start()
+    eng.run(until=until)
+    return eng, proc
+
+
+def test_process_runs_to_completion_and_captures_result():
+    def body():
+        yield Sleep(1.0)
+        yield Sleep(2.0)
+        return "done"
+
+    eng, proc = run_body(body())
+    assert proc.finished
+    assert proc.result == "done"
+    assert eng.now == 3.0
+
+
+def test_sleep_advances_time_but_not_for_zero():
+    def body():
+        yield Sleep(0.0)
+        return None
+
+    eng, proc = run_body(body())
+    assert eng.now == 0.0 and proc.finished
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(Exception):
+        Sleep(-0.5)
+
+
+def test_wait_event_resumes_with_value():
+    eng = Engine()
+    ev = SimEvent()
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append((eng.now, value))
+
+    Process(eng, waiter(), name="w").start()
+    eng.call_at(5.0, lambda: ev.succeed("ping"))
+    eng.run()
+    assert got == [(5.0, "ping")]
+
+
+def test_mailbox_syscall_blocks_until_item():
+    eng = Engine()
+    mb = Mailbox()
+    got = []
+
+    def receiver():
+        item = yield GetFromMailbox(mb)
+        got.append((eng.now, item))
+
+    Process(eng, receiver(), name="r").start()
+    eng.call_at(2.0, lambda: mb.put("hello"))
+    eng.run()
+    assert got == [(2.0, "hello")]
+
+
+def test_immediate_passes_value():
+    def body():
+        v = yield Immediate(123)
+        return v
+
+    _, proc = run_body(body())
+    assert proc.result == 123
+
+
+def test_yielding_non_syscall_raises_typeerror():
+    def body():
+        yield 42
+
+    eng = Engine()
+    proc = Process(eng, body(), name="bad").start()
+    with pytest.raises(TypeError, match="yielded int"):
+        eng.run()
+    assert proc.finished and isinstance(proc.failed, TypeError)
+
+
+def test_exception_inside_process_propagates():
+    def body():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    eng = Engine()
+    proc = Process(eng, body(), name="boom").start()
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+    assert proc.finished and isinstance(proc.failed, ValueError)
+
+
+def test_double_start_rejected():
+    eng = Engine()
+
+    def body():
+        yield Sleep(1.0)
+
+    proc = Process(eng, body(), name="p").start()
+    with pytest.raises(RuntimeError):
+        proc.start()
+
+
+def test_on_done_callback():
+    eng = Engine()
+    seen = []
+
+    def body():
+        yield Sleep(1.0)
+        return 5
+
+    proc = Process(eng, body(), name="p").start()
+    proc.on_done(lambda p: seen.append(p.result))
+    eng.run()
+    assert seen == [5]
+    # Registering after completion fires immediately.
+    proc.on_done(lambda p: seen.append("late"))
+    assert seen == [5, "late"]
+
+
+def test_subgenerators_compose_with_yield_from():
+    def helper():
+        yield Sleep(1.0)
+        return "sub"
+
+    def body():
+        first = yield from helper()
+        second = yield from helper()
+        return (first, second)
+
+    eng, proc = run_body(body())
+    assert proc.result == ("sub", "sub")
+    assert eng.now == 2.0
+
+
+def test_two_processes_interleave_deterministically():
+    eng = Engine()
+    trace = []
+
+    def make(name, delay):
+        def body():
+            for i in range(3):
+                yield Sleep(delay)
+                trace.append((name, eng.now))
+        return body
+
+    Process(eng, make("a", 1.0)(), name="a").start()
+    Process(eng, make("b", 1.5)(), name="b").start()
+    eng.run()
+    # At the t=3.0 tie, b's wake-up was scheduled first (at t=1.5, vs. a's
+    # at t=2.0), so insertion order places b before a.
+    assert trace == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5),
+    ]

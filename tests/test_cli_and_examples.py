@@ -1,0 +1,84 @@
+"""CLI dispatcher and example-script smoke tests."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCli:
+    def test_help_lists_all_experiments(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown_command_fails(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_dispatch_runs_experiment(self, capsys):
+        assert main(["clusters", "--apps", "water"]) == 0
+        assert "8x4" in capsys.readouterr().out
+
+
+def run_example(name, argv=()):
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "allreduce on all 32 ranks -> 496" in out
+        assert "water optimized" in out
+
+    def test_custom_application(self, capsys):
+        run_example("custom_application.py")
+        out = capsys.readouterr().out
+        assert "hierarchical" in out
+        assert "Same numerics" in out
+
+    def test_magpie_collectives(self, capsys):
+        run_example("magpie_collectives.py", ["10", "1"])
+        out = capsys.readouterr().out
+        assert "MagPIe speedup" in out
+        assert "flat" in out and "magpie" in out
+
+    def test_orca_objects(self, capsys):
+        run_example("orca_objects.py")
+        out = capsys.readouterr().out
+        assert "RTS-style placement wins" in out
+
+    def test_trace_timeline(self, capsys):
+        run_example("trace_timeline.py")
+        out = capsys.readouterr().out
+        assert "timeline 0 .." in out
+        assert "WAN messages" in out
+
+    @pytest.mark.slow
+    def test_grid_feasibility(self, capsys):
+        run_example("grid_feasibility.py")
+        out = capsys.readouterr().out
+        assert "fft (unopt)" in out
+
+    @pytest.mark.slow
+    def test_gap_sensitivity(self, capsys):
+        run_example("gap_sensitivity.py", ["tsp"])
+        out = capsys.readouterr().out
+        assert "bandwidth gap" in out

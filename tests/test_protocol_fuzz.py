@@ -1,0 +1,128 @@
+"""Machine-level protocol fuzzing with hypothesis.
+
+Random matched communication schedules must never deadlock, must conserve
+messages, and must preserve FIFO order per (sender, receiver, tag) path —
+the invariants every runtime protocol in this repository builds on.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import Topology, das_topology, myrinet, wan
+from repro.runtime import Machine
+
+# A schedule is a list of (src, dst, count) triples; each generates
+# `count` sends from src to dst under tag (src, dst), matched by receives.
+schedules = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 6)),
+    min_size=1, max_size=12,
+).filter(lambda flows: all(s != d for s, d, _ in flows))
+
+
+def topo_for(seed: int) -> Topology:
+    shapes = [(3, 2), (2, 3), (6, 1), (1, 6)]
+    clusters, size = shapes[seed % len(shapes)]
+    return Topology(tuple([size] * clusters), myrinet(), wan(2.0, 1.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=schedules, topo_seed=st.integers(0, 3))
+def test_matched_schedules_complete_and_conserve(flows, topo_seed):
+    topo = topo_for(topo_seed)
+    # Aggregate duplicate (src, dst) flows so per-path sequence numbers
+    # are globally increasing (the FIFO check relies on it).
+    per_path = defaultdict(int)
+    for src, dst, count in flows:
+        per_path[(src, dst)] += count
+    sends_by_rank = defaultdict(list)
+    recvs_by_rank = defaultdict(list)
+    for (src, dst), count in per_path.items():
+        for i in range(count):
+            sends_by_rank[src].append((dst, (src, dst), i))
+            recvs_by_rank[dst].append((src, dst))
+
+    machine = Machine(topo)
+    received = defaultdict(list)
+
+    def make_body(rank):
+        def body(ctx):
+            for dst, tag, i in sends_by_rank[rank]:
+                yield ctx.send(dst, 64 + 16 * i, ("flow", tag), payload=i)
+            for tag in recvs_by_rank[rank]:
+                msg = yield ctx.recv(("flow", tag))
+                received[tag].append(msg.payload)
+        return body
+
+    for r in topo.ranks():
+        machine.spawn(r, make_body(r))
+    machine.run()  # raises DeadlockError on any protocol violation
+
+    total_sent = sum(per_path.values())
+    total_received = sum(len(v) for v in received.values())
+    assert total_received == total_sent
+    # FIFO per (src, dst) path: payload sequence numbers arrive in order.
+    for tag, payloads in received.items():
+        assert payloads == list(range(per_path[tag])), tag
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    flows=schedules,
+    jitter_cv=st.sampled_from([0.0, 0.8]),
+    seed=st.integers(0, 3),
+)
+def test_conservation_under_wan_jitter(flows, jitter_cv, seed):
+    """Latency jitter reorders deliveries across paths but never within
+    one path, and never loses messages."""
+    from repro.network import Variability
+
+    var = Variability(latency_cv=jitter_cv) if jitter_cv else None
+    topo = Topology((3, 3), myrinet(), wan(5.0, 1.0), wan_variability=var)
+    machine = Machine(topo, seed=seed)
+    received = defaultdict(list)
+    sends_by_rank = defaultdict(list)
+    recvs_by_rank = defaultdict(list)
+    for src, dst, count in flows:
+        for i in range(count):
+            sends_by_rank[src].append((dst, (src, dst), i))
+            recvs_by_rank[dst].append((src, dst))
+
+    def make_body(rank):
+        def body(ctx):
+            for dst, tag, i in sends_by_rank[rank]:
+                yield ctx.send(dst, 64, ("f", tag), payload=i)
+            for tag in recvs_by_rank[rank]:
+                msg = yield ctx.recv(("f", tag))
+                received[tag].append(msg.payload)
+        return body
+
+    for r in topo.ranks():
+        machine.spawn(r, make_body(r))
+    machine.run()
+    assert sum(len(v) for v in received.values()) == \
+        sum(count for _, _, count in flows)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ranks=st.integers(2, 8), rounds=st.integers(1, 4), seed=st.integers(0, 5))
+def test_all_to_all_rounds_never_deadlock(ranks, rounds, seed):
+    """Dense all-to-all rounds (every pair, both directions) complete."""
+    topo = Topology((ranks,), myrinet(), myrinet())
+    machine = Machine(topo, seed=seed)
+
+    def body(ctx):
+        for round_id in range(rounds):
+            for dst in range(ranks):
+                if dst != ctx.rank:
+                    yield ctx.send(dst, 128, ("a2a", round_id, ctx.rank))
+            for src in range(ranks):
+                if src != ctx.rank:
+                    yield ctx.recv(("a2a", round_id, src))
+
+    for r in range(ranks):
+        machine.spawn(r, body)
+    machine.run()
+    assert machine.stats.total_messages == rounds * ranks * (ranks - 1)

@@ -1,0 +1,135 @@
+"""Tests for the execution tracer and timeline rendering."""
+
+import pytest
+
+from repro import Tracer, render_timeline
+from repro.network import das_topology, single_cluster
+from repro.runtime import Machine
+from repro.trace import utilization
+
+
+def traced_run(topo, bodies, tracer=None):
+    tracer = tracer or Tracer()
+    machine = Machine(topo, tracer=tracer)
+    for rank, body in bodies.items():
+        machine.spawn(rank, body)
+    machine.run()
+    return machine, tracer
+
+
+def test_send_and_deliver_events_recorded():
+    topo = das_topology(clusters=2, cluster_size=1,
+                        wan_latency_ms=5.0, wan_bandwidth_mbyte_s=1.0)
+
+    def sender(ctx):
+        yield ctx.send(1, 2048, "x", payload="hi")
+
+    def receiver(ctx):
+        yield ctx.recv("x")
+
+    machine, tracer = traced_run(topo, {0: sender, 1: receiver})
+    assert tracer.message_count() == 1
+    send = tracer.sends[0]
+    assert (send.src, send.dst, send.size) == (0, 1, 2048)
+    assert send.inter_cluster
+    deliver = tracer.delivers[0]
+    assert deliver.latency >= 0.005  # at least the WAN latency
+    assert tracer.latency_stats()["max"] == deliver.latency
+
+
+def test_compute_events_and_utilization():
+    topo = single_cluster(2)
+
+    def busy(ctx):
+        yield ctx.compute(0.4)
+        yield ctx.compute(0.6)
+
+    def lazy(ctx):
+        yield ctx.compute(0.25)
+
+    machine, tracer = traced_run(topo, {0: busy, 1: lazy})
+    until = machine.runtime()
+    util = utilization(tracer, topo, until)
+    assert util[0] == pytest.approx(1.0, abs=1e-6)
+    assert util[1] == pytest.approx(0.25, abs=1e-6)
+    assert tracer.busy_intervals(0) == [(0.0, 1.0)]  # merged
+
+
+def test_wan_sends_filter():
+    topo = das_topology(clusters=2, cluster_size=2)
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(1, 64, "local")
+            yield ctx.send(2, 64, "remote")
+        elif ctx.rank == 1:
+            yield ctx.recv("local")
+        elif ctx.rank == 2:
+            yield ctx.recv("remote")
+        else:
+            yield ctx.compute(0)
+
+    machine, tracer = traced_run(topo, {r: body for r in range(4)})
+    assert tracer.message_count() == 2
+    assert len(tracer.wan_sends()) == 1
+
+
+def test_render_timeline_shape():
+    topo = single_cluster(3)
+
+    def worker(ctx):
+        yield ctx.compute(0.5)
+        yield ctx.send((ctx.rank + 1) % 3, 64, ("t", ctx.rank))
+        yield ctx.recv(("t", (ctx.rank - 1) % 3))
+
+    machine, tracer = traced_run(topo, {r: worker for r in range(3)})
+    text = render_timeline(tracer, topo, machine.runtime(), width=40)
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + 3 ranks
+    for line in lines[1:]:
+        assert line.startswith("rank")
+        strip = line.split("|")[1]
+        assert len(strip) == 40
+        assert "#" in strip  # compute visible
+
+
+def test_render_empty_timeline():
+    assert render_timeline(Tracer(), single_cluster(1), 0.0) == "(empty timeline)"
+
+
+def test_event_cap_drops_and_reports():
+    tracer = Tracer(max_events=3)
+    topo = single_cluster(2)
+
+    def sender(ctx):
+        for i in range(10):
+            yield ctx.send(1, 64, ("t", i))
+
+    def receiver(ctx):
+        for i in range(10):
+            yield ctx.recv(("t", i))
+
+    machine, tracer = traced_run(topo, {0: sender, 1: receiver}, tracer)
+    assert len(tracer.sends) == 3
+    assert tracer.dropped > 0
+    assert "dropped" in render_timeline(tracer, topo, machine.runtime())
+
+
+def test_tracing_does_not_change_timing():
+    topo = das_topology(clusters=2, cluster_size=2)
+
+    def body(ctx):
+        yield ctx.compute(1e-3)
+        if ctx.rank == 0:
+            yield ctx.send(3, 4096, "m")
+        elif ctx.rank == 3:
+            yield ctx.recv("m")
+
+    def run(tracer):
+        machine = Machine(topo, tracer=tracer)
+        for r in range(4):
+            machine.spawn(r, body)
+        machine.run()
+        return machine.runtime()
+
+    assert run(None) == run(Tracer())
