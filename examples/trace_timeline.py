@@ -2,18 +2,23 @@
 
 Runs optimized ASP at two operating points with a tracer attached and
 renders per-rank Gantt strips — the migrating sequencer's cluster-by-
-cluster progression and the WAN-induced stalls become visible.
+cluster progression and the WAN-induced stalls become visible.  The
+slow-WAN run also streams through the probe bus into a Chrome/Perfetto
+``trace_event`` JSON, ready for https://ui.perfetto.dev.
 
 Run: ``python examples/trace_timeline.py``
 """
 
-from repro import Tracer, das_topology, render_timeline
+import os
+import tempfile
+
+from repro import PerfettoTrace, ProbeBus, Tracer, das_topology, render_timeline
 from repro.apps import default_config, get_builder
 from repro.runtime import Machine
 from repro.trace import utilization
 
 
-def run_traced(wan_latency_ms, wan_bandwidth):
+def run_traced(wan_latency_ms, wan_bandwidth, perfetto=None):
     topo = das_topology(clusters=4, cluster_size=4,
                         wan_latency_ms=wan_latency_ms,
                         wan_bandwidth_mbyte_s=wan_bandwidth)
@@ -21,7 +26,12 @@ def run_traced(wan_latency_ms, wan_bandwidth):
     config.n = 64  # short run: keep the timeline legible
     main = get_builder("asp", "optimized")(config)
     tracer = Tracer()
-    machine = Machine(topo, tracer=tracer)
+    bus = ProbeBus()
+    bus.attach(tracer)
+    if perfetto is not None:
+        perfetto.topology = topo
+        bus.attach(perfetto)
+    machine = Machine(topo, bus=bus)
     for r in topo.ranks():
         machine.spawn(r, main)
     machine.run()
@@ -31,7 +41,9 @@ def run_traced(wan_latency_ms, wan_bandwidth):
 def main() -> None:
     for lat, bw, label in ((0.5, 6.0, "fast WAN (0.5 ms, 6 MByte/s)"),
                            (30.0, 0.3, "slow WAN (30 ms, 0.3 MByte/s)")):
-        topo, machine, tracer = run_traced(lat, bw)
+        # Export the slow-WAN run: the interesting one to inspect visually.
+        perfetto = PerfettoTrace() if lat > 1.0 else None
+        topo, machine, tracer = run_traced(lat, bw, perfetto=perfetto)
         print(f"=== ASP optimized, {label}")
         # One representative rank per cluster keeps the plot small.
         ranks = [topo.cluster_leader(c) for c in topo.clusters()]
@@ -42,9 +54,15 @@ def main() -> None:
         stats = tracer.latency_stats()
         print(f"mean CPU utilization {100 * mean_util:5.1f}%   "
               f"message latency mean {stats['mean'] * 1e3:.2f} ms "
+              f"p99 {stats['p99'] * 1e3:.2f} ms "
               f"max {stats['max'] * 1e3:.2f} ms")
         print(f"WAN messages: {len(tracer.wan_sends())} of "
               f"{tracer.message_count()}\n")
+        if perfetto is not None:
+            out = os.path.join(tempfile.gettempdir(), "asp-slow-wan.trace.json")
+            count = perfetto.write(out)
+            print(f"wrote Perfetto trace ({count} events) to {out};"
+                  f" load it at https://ui.perfetto.dev\n")
 
 
 if __name__ == "__main__":

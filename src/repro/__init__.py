@@ -15,6 +15,8 @@ The package layers:
 __version__ = "1.0.0"
 
 from .network import Topology, das_topology, myrinet, single_cluster, wan
+from .obs import (MetricsCollector, MetricsRegistry, PerfettoTrace, ProbeBus,
+                  RunReporter)
 from .runtime import Context, Machine, RunResult, run_spmd
 from .trace import Tracer, render_timeline
 
@@ -30,5 +32,10 @@ __all__ = [
     "run_spmd",
     "Tracer",
     "render_timeline",
+    "ProbeBus",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "PerfettoTrace",
+    "RunReporter",
     "__version__",
 ]

@@ -21,6 +21,7 @@ from .experiments import (
     table2,
     variability,
 )
+from .obs import cli as trace_cli
 
 COMMANDS = {
     "table1": (table1.main, "Table 1: single-cluster speedups/traffic/runtime"),
@@ -35,6 +36,7 @@ COMMANDS = {
     "ablations": (ablations.main, "Ablations of each optimization's ingredients"),
     "export": (export.main, "Export experiment data as CSV/JSON"),
     "algselect": (algselect.main, "Collective algorithm selection across the gap"),
+    "trace": (trace_cli.main, "Run one app instrumented; write Perfetto trace + report"),
 }
 
 

@@ -70,9 +70,15 @@ def run_app(
     scale: str = "bench",
     seed: int = 0,
     until: Optional[float] = None,
+    bus: Any = None,
 ) -> RunResult:
-    """Build and run one application variant on ``topology``."""
+    """Build and run one application variant on ``topology``.
+
+    ``bus`` (a prepared :class:`~repro.obs.bus.ProbeBus`) instruments the
+    run; active run reporters receive a record tagged with app/variant.
+    """
     if config is None:
         config = default_config(name, scale)
     main = get_builder(name, variant)(config)
-    return run_spmd(topology, main, seed=seed, until=until)
+    return run_spmd(topology, main, seed=seed, until=until, bus=bus,
+                    report_meta={"app": name, "variant": variant})

@@ -6,7 +6,8 @@ in machine-readable form::
     python -m repro.experiments.export figure3 --apps water --out water.csv
     python -m repro.experiments.export table1 --format json
 
-Supported datasets: ``table1``, ``figure1``, ``figure3``, ``figure4``.
+Supported datasets: ``table1``, ``figure1``, ``figure3``, ``figure4``,
+and ``traffic`` (the per-app inter-cluster pair matrix).
 """
 
 from __future__ import annotations
@@ -101,11 +102,27 @@ def figure4_rows(scale: str = "bench", seed: int = 0) -> List[Dict]:
     return rows
 
 
+def traffic_rows(apps: Optional[List[str]] = None,
+                 scale: str = "bench", seed: int = 0) -> List[Dict]:
+    """Inter-cluster traffic pair matrix per app at the Figure-1 point."""
+    from ..apps import run_app
+
+    topo = grids.multi_cluster(grids.FIGURE1_BANDWIDTH, grids.FIGURE1_LATENCY_MS)
+    rows = []
+    for app in (apps or grids.APPS):
+        variant = "optimized" if app != "fft" else "unoptimized"
+        result = run_app(app, variant, topo, scale=scale, seed=seed)
+        for row in result.machine.stats.pair_rows():
+            rows.append({"app": app, "variant": variant, **row})
+    return rows
+
+
 DATASETS = {
     "table1": table1_rows,
     "figure1": figure1_rows,
     "figure3": figure3_rows,
     "figure4": figure4_rows,
+    "traffic": traffic_rows,
 }
 
 
@@ -135,7 +152,7 @@ def main(argv: Optional[list] = None) -> None:
     kwargs = {}
     if args.scale:
         kwargs["scale"] = args.scale
-    if args.apps and args.dataset == "figure3":
+    if args.apps and args.dataset in ("figure3", "traffic"):
         kwargs["apps"] = args.apps
     rows = DATASETS[args.dataset](**kwargs)
     text = to_csv(rows) if args.format == "csv" else to_json(rows)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..apps import default_config, run_app
 from ..network.topology import Topology
+from ..obs.report import RunReporter, run_record
 from ..runtime.run import RunResult
 from . import grids
 
@@ -42,17 +43,31 @@ class SpeedupGrid:
 
 
 class Sweeper:
-    """Runs applications over grids with baseline caching."""
+    """Runs applications over grids with baseline caching.
 
-    def __init__(self, scale: str = "bench", seed: int = 0) -> None:
+    Pass ``reporter=`` (a :class:`~repro.obs.report.RunReporter`) to get
+    one machine-readable JSON-lines record per simulated run — config,
+    seed, topology, sim/wall time, and the full traffic summary — the raw
+    material sharded/async sweep drivers resume from.
+    """
+
+    def __init__(self, scale: str = "bench", seed: int = 0,
+                 reporter: Optional[RunReporter] = None) -> None:
         self.scale = scale
         self.seed = seed
+        self.reporter = reporter
         self._baseline_cache: Dict[Tuple[str, str, int], float] = {}
 
     # ------------------------------------------------------------------
     def run_on(self, app: str, variant: str, topo: Topology) -> RunResult:
         config = default_config(app, self.scale)
-        return run_app(app, variant, topo, config=config, seed=self.seed)
+        result = run_app(app, variant, topo, config=config, seed=self.seed)
+        if self.reporter is not None:
+            self.reporter.emit(run_record(
+                result.machine, result.runtime, result.wall_time,
+                meta={"app": app, "variant": variant, "scale": self.scale,
+                      "harness": "sweeper"}))
+        return result
 
     def baseline_runtime(self, app: str, variant: str,
                          num_ranks: int = grids.NUM_RANKS) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.events import QueueEvent
 from .linkspec import LinkSpec
 
 
@@ -61,15 +62,18 @@ class Link:
     not, matching the message-level measurements in the paper.
     """
 
-    __slots__ = ("name", "spec", "_next_free", "stats", "noise")
+    __slots__ = ("name", "spec", "_next_free", "stats", "noise", "bus")
 
-    def __init__(self, name: str, spec: LinkSpec, noise=None) -> None:
+    def __init__(self, name: str, spec: LinkSpec, noise=None, bus=None) -> None:
         self.name = name
         self.spec = spec
         self._next_free = 0.0
         self.stats = LinkStats()
         #: optional :class:`~repro.network.variability.LinkNoise` sampler
         self.noise = noise
+        #: optional :class:`~repro.obs.bus.ProbeBus` receiving "queue"
+        #: events (one per transfer, carrying the queueing delay)
+        self.bus = bus
 
     def transfer(self, ready_time: float, size: int) -> float:
         """Occupy the wire for ``size`` bytes starting no earlier than
@@ -90,6 +94,10 @@ class Link:
         st.busy_time += duration
         st.queue_time += start - ready_time
         st.last_free = end
+        bus = self.bus
+        if bus is not None and bus.want_queue:
+            bus.emit("queue", QueueEvent(ready_time, self.name,
+                                         start - ready_time, duration, end, size))
         return end + latency
 
     def next_free_at(self) -> float:

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Tuple
 
+from ..obs.bus import ProbeBus
+from ..obs.events import GatewayEvent
 from ..sim.engine import Engine
 
 from .link import Link, SerialResource
@@ -31,12 +33,28 @@ from .topology import Topology
 
 
 class Router:
-    """Maps (src, dst, size, time) to a delivery time, with contention."""
+    """Maps (src, dst, size, time) to a delivery time, with contention.
+
+    All instrumentation flows through a :class:`~repro.obs.bus.ProbeBus`:
+    traffic accounting is published on the ``traffic_*`` topics (the
+    router's :class:`TrafficStats` subscribes to them), link transfers on
+    ``queue``, and gateway CPU service on ``gateway``.  A
+    :class:`~repro.runtime.machine.Machine` passes its own bus in; a
+    stand-alone router builds a private one and wires its stats itself.
+    """
 
     def __init__(self, topology: Topology, stats: TrafficStats = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, bus: ProbeBus = None) -> None:
         self.topology = topology
         self.stats = stats if stats is not None else TrafficStats(topology.num_clusters)
+        if bus is None:
+            bus = ProbeBus()
+            bus.attach(self.stats)
+        self.bus = bus
+        # Live subscriber lists for the per-message counters: iterating
+        # them directly keeps the always-on traffic accounting at seed cost.
+        self._traffic_intra = bus.subscribers("traffic_intra")
+        self._traffic_inter = bus.subscribers("traffic_inter")
         local, wide = topology.local, topology.wide
 
         def wan_noise(name: str):
@@ -45,10 +63,11 @@ class Router:
                 return LinkNoise(var, seed, name)
             return None
         self._nic: Dict[int, Link] = {
-            rank: Link(f"nic{rank}", local) for rank in topology.ranks()
+            rank: Link(f"nic{rank}", local, bus=bus) for rank in topology.ranks()
         }
         self._gateway_out: Dict[int, Link] = {
-            cid: Link(f"gw{cid}-egress", local) for cid in topology.clusters()
+            cid: Link(f"gw{cid}-egress", local, bus=bus)
+            for cid in topology.clusters()
         }
         # One gateway *machine* per cluster: its TCP stack serializes every
         # WAN message of that cluster (both directions) at a fixed
@@ -59,7 +78,7 @@ class Router:
         }
         self._wan: Dict[Tuple[int, int], Link] = {
             pair: Link(f"wan{pair[0]}->{pair[1]}", wide,
-                       noise=wan_noise(f"wan{pair[0]}->{pair[1]}"))
+                       noise=wan_noise(f"wan{pair[0]}->{pair[1]}"), bus=bus)
             for pair in topology.wan_pairs()
         }
 
@@ -75,13 +94,15 @@ class Router:
         invoked (via the engine) at the delivery time.
         """
         topo = self.topology
+        bus = self.bus
         src_cluster = topo.cluster_of(msg.src)
         dst_cluster = topo.cluster_of(msg.dst)
         msg.send_time = depart_time
 
         if src_cluster == dst_cluster:
             msg.inter_cluster = False
-            self.stats.record_intra(msg.size)
+            for record in self._traffic_intra:
+                record(msg.size)
             # The sender NIC is a per-rank resource fed in send order.
             deliver = self._nic[msg.src].transfer(depart_time, msg.size)
             msg.deliver_time = deliver
@@ -89,7 +110,8 @@ class Router:
             return
 
         msg.inter_cluster = True
-        self.stats.record_inter(src_cluster, dst_cluster, msg.size)
+        for record in self._traffic_inter:
+            record(src_cluster, dst_cluster, msg.size)
         at_gateway = self._nic[msg.src].transfer(depart_time, msg.size)
         hops = topo.wan_route(src_cluster, dst_cluster)
 
@@ -98,7 +120,12 @@ class Router:
             # The gateway machine's TCP stack serves one message at a time;
             # reserving at arrival time keeps its queue causally ordered.
             here, nxt = hops[hop_index]
-            ready = self._gateway_cpu[here].reserve(engine.now)
+            cpu = self._gateway_cpu[here]
+            ready = cpu.reserve(engine.now)
+            if bus.want_gateway:
+                bus.emit("gateway", GatewayEvent(engine.now, here,
+                                                 ready - cpu.service_time,
+                                                 ready, msg.size))
             at_next = self._wan[(here, nxt)].transfer(ready, msg.size)
             if hop_index + 1 < len(hops):
                 # Star/ring shapes: store-and-forward at the intermediate
@@ -108,7 +135,12 @@ class Router:
                 engine.call_at(at_next, arrive)
 
         def arrive() -> None:
-            ready = self._gateway_cpu[dst_cluster].reserve(engine.now)
+            cpu = self._gateway_cpu[dst_cluster]
+            ready = cpu.reserve(engine.now)
+            if bus.want_gateway:
+                bus.emit("gateway", GatewayEvent(engine.now, dst_cluster,
+                                                 ready - cpu.service_time,
+                                                 ready, msg.size))
             deliver = self._gateway_out[dst_cluster].transfer(ready, msg.size)
             msg.deliver_time = deliver
             engine.call_at(deliver, lambda: on_deliver(msg))

@@ -22,7 +22,12 @@ class LayerCounters:
 
 
 class TrafficStats:
-    """Per-run interconnect traffic accounting."""
+    """Per-run interconnect traffic accounting.
+
+    Subscribes to the probe bus's ``traffic_intra``/``traffic_inter``
+    topics (:class:`~repro.runtime.machine.Machine` attaches its stats
+    automatically); the ``record_*`` methods remain callable directly.
+    """
 
     def __init__(self, num_clusters: int) -> None:
         self.num_clusters = num_clusters
@@ -46,6 +51,10 @@ class TrafficStats:
         if key not in self.pair:
             self.pair[key] = LayerCounters()
         self.pair[key].record(size)
+
+    # Probe-bus subscriber aliases (topics "traffic_intra"/"traffic_inter").
+    on_traffic_intra = record_intra
+    on_traffic_inter = record_inter
 
     def mark_start(self, t: float) -> None:
         """Exclude start-up phases, as the paper does."""
@@ -85,7 +94,19 @@ class TrafficStats:
             return 0.0
         return self.inter.messages / self.duration / self.num_clusters
 
-    def summary(self) -> Dict[str, float]:
+    def pair_rows(self) -> List[Dict[str, float]]:
+        """The inter-cluster traffic matrix as CSV-ready rows."""
+        return [
+            {
+                "src_cluster": src,
+                "dst_cluster": dst,
+                "messages": counters.messages,
+                "mbytes": counters.bytes / 1e6,
+            }
+            for (src, dst), counters in sorted(self.pair.items())
+        ]
+
+    def summary(self) -> Dict[str, object]:
         return {
             "duration_s": self.duration,
             "intra_messages": self.intra.messages,
@@ -95,4 +116,11 @@ class TrafficStats:
             "total_mbyte_per_s": self.total_mbyte_per_s(),
             "inter_mbyte_per_s_per_cluster": self.inter_mbyte_per_s_per_cluster(),
             "inter_messages_per_s_per_cluster": self.inter_messages_per_s_per_cluster(),
+            "pair": {
+                f"{src}->{dst}": {
+                    "messages": counters.messages,
+                    "mbytes": counters.bytes / 1e6,
+                }
+                for (src, dst), counters in sorted(self.pair.items())
+            },
         }

@@ -1,0 +1,142 @@
+"""The probe bus: typed instrumentation events with a no-subscriber fast path.
+
+A :class:`ProbeBus` is a tiny topic-based publisher the simulator layers
+emit into.  The design constraint is that *un-instrumented runs pay
+(almost) nothing*: for every topic the bus exposes a plain boolean
+attribute ``want_<topic>``, and publishers guard event construction on
+it::
+
+    if bus.want_send:
+        bus.emit("send", SendEvent(...))
+
+so when nothing is subscribed the cost per probe point is one attribute
+load and a branch — no event object, no dict lookup, no call.
+
+Subscribers are either plain callbacks (``bus.subscribe("send", fn)``)
+or objects with ``on_<topic>`` methods wired up in one go by
+:meth:`ProbeBus.attach` — :class:`repro.trace.Tracer`,
+:class:`repro.network.stats.TrafficStats`,
+:class:`repro.obs.metrics.MetricsCollector` and
+:class:`repro.obs.perfetto.PerfettoTrace` all plug in this way.
+
+The two ``traffic_*`` topics are special: they carry positional counters
+instead of event objects (they are on the per-message hot path and are
+subscribed in every :class:`~repro.runtime.machine.Machine` by its
+:class:`~repro.network.stats.TrafficStats`), published via the dedicated
+:meth:`emit_traffic_intra` / :meth:`emit_traffic_inter` helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+#: All topics a bus carries, in a fixed order (used by :meth:`ProbeBus.attach`).
+TOPICS: Tuple[str, ...] = (
+    "send",           # SendEvent — message injected into the network
+    "deliver",        # DeliverEvent — message handed to the endpoint
+    "compute",        # ComputeEvent — CPU interval reserved on a rank
+    "queue",          # QueueEvent — link transfer with queueing delay
+    "gateway",        # GatewayEvent — gateway CPU served one message
+    "block",          # BlockEvent — process blocked on a receive
+    "unblock",        # UnblockEvent — blocked receive completed
+    "phase",          # PhaseEvent — collective/application phase boundary
+    "traffic_intra",  # (size) — intra-cluster traffic counter
+    "traffic_inter",  # (src_cluster, dst_cluster, size) — WAN traffic counter
+)
+
+
+class ProbeBus:
+    """Topic-based publisher for simulator instrumentation events."""
+
+    __slots__ = ("_subs",) + tuple(f"want_{t}" for t in TOPICS)
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Callable]] = {t: [] for t in TOPICS}
+        for topic in TOPICS:
+            setattr(self, f"want_{topic}", False)
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, callback: Callable) -> Callable:
+        """Register ``callback`` for ``topic``; returns the callback."""
+        try:
+            self._subs[topic].append(callback)
+        except KeyError:
+            raise ValueError(f"unknown probe topic {topic!r}; "
+                             f"known topics: {TOPICS}") from None
+        setattr(self, f"want_{topic}", True)
+        return callback
+
+    def unsubscribe(self, topic: str, callback: Callable) -> None:
+        """Remove one subscription; clears the fast-path flag when empty."""
+        subs = self._subs[topic]
+        subs.remove(callback)
+        if not subs:
+            setattr(self, f"want_{topic}", False)
+
+    def attach(self, subscriber: Any) -> List[str]:
+        """Wire every ``on_<topic>`` method of ``subscriber`` to its topic.
+
+        Returns the topics attached; raises if the object exposes none
+        (almost certainly a typo in a handler name).
+        """
+        attached = []
+        for topic in TOPICS:
+            handler = getattr(subscriber, f"on_{topic}", None)
+            if callable(handler):
+                self.subscribe(topic, handler)
+                attached.append(topic)
+        if not attached:
+            raise ValueError(
+                f"{type(subscriber).__name__} defines no on_<topic> handler; "
+                f"expected one of {['on_' + t for t in TOPICS]}")
+        return attached
+
+    def detach(self, subscriber: Any) -> None:
+        """Undo :meth:`attach` for ``subscriber``."""
+        for topic in TOPICS:
+            handler = getattr(subscriber, f"on_{topic}", None)
+            if callable(handler) and handler in self._subs[topic]:
+                self.unsubscribe(topic, handler)
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._subs[topic])
+
+    def subscribers(self, topic: str) -> List[Callable]:
+        """The *live* callback list for ``topic`` (kept for the bus's
+        lifetime, mutated in place by subscribe/unsubscribe).
+
+        Hot-path publishers may hold this list and iterate it directly,
+        skipping the ``emit`` call overhead — the router does this for
+        the per-message ``traffic_*`` topics."""
+        try:
+            return self._subs[topic]
+        except KeyError:
+            raise ValueError(f"unknown probe topic {topic!r}; "
+                             f"known topics: {TOPICS}") from None
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def emit(self, topic: str, event: Any) -> None:
+        """Deliver ``event`` to every subscriber of ``topic``.
+
+        Publishers should guard calls on the ``want_<topic>`` flag so no
+        event object is built when nobody listens.
+        """
+        for cb in self._subs[topic]:
+            cb(event)
+
+    def emit_traffic_intra(self, size: int) -> None:
+        for cb in self._subs["traffic_intra"]:
+            cb(size)
+
+    def emit_traffic_inter(self, src_cluster: int, dst_cluster: int,
+                           size: int) -> None:
+        for cb in self._subs["traffic_inter"]:
+            cb(src_cluster, dst_cluster, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hot = [t for t in TOPICS if self._subs[t]]
+        return f"ProbeBus(hot={hot})"

@@ -1,0 +1,121 @@
+"""Typed events published on the probe bus.
+
+Every event is a small frozen dataclass carrying simulated-time fields
+only — no wall-clock, no object references into mutable simulator state —
+so subscribers can buffer them safely and exports built from them are
+deterministic (same seed, same bytes).
+
+``SendEvent``/``DeliverEvent``/``ComputeEvent`` are the classic trace
+stream (re-exported by :mod:`repro.trace` for backwards compatibility);
+the remaining types cover the resources the two-layer model contends on:
+link serialization queues, gateway CPUs, blocked receivers, and
+application-level collective phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """A message injected into the network (after routing classified it)."""
+
+    time: float
+    src: int
+    dst: int
+    size: int
+    tag: Any
+    inter_cluster: bool
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    """A message handed to the destination endpoint."""
+
+    time: float
+    src: int
+    dst: int
+    size: int
+    tag: Any
+    latency: float
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """One reserved interval of CPU work on a rank."""
+
+    start: float
+    end: float
+    rank: int
+
+
+@dataclass(frozen=True)
+class QueueEvent:
+    """One transfer through a link, with its queueing delay.
+
+    ``wait`` is how far behind the wire was when the message arrived
+    (seconds of backlog — the queue depth of a bandwidth-serialized FIFO),
+    ``duration`` the serialization time actually charged, ``end`` the time
+    the wire went free again.
+    """
+
+    time: float
+    link: str
+    wait: float
+    duration: float
+    end: float
+    size: int
+
+
+@dataclass(frozen=True)
+class GatewayEvent:
+    """One message served by a cluster gateway CPU (store-and-forward)."""
+
+    time: float
+    cluster: int
+    start: float
+    end: float
+    size: int
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """A process started blocking on a receive."""
+
+    time: float
+    rank: int
+    tag: Any
+
+
+@dataclass(frozen=True)
+class UnblockEvent:
+    """A blocked receive completed; ``waited`` is the blocked interval."""
+
+    time: float
+    rank: int
+    tag: Any
+    waited: float
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A named application phase boundary (``kind`` is enter/exit)."""
+
+    time: float
+    rank: int
+    name: str
+    kind: str
+
+
+__all__ = [
+    "SendEvent",
+    "DeliverEvent",
+    "ComputeEvent",
+    "QueueEvent",
+    "GatewayEvent",
+    "BlockEvent",
+    "UnblockEvent",
+    "PhaseEvent",
+]

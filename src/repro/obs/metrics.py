@@ -1,0 +1,274 @@
+"""Metrics registry: counters, gauges, log-binned histograms, time series.
+
+The registry is deliberately dependency-free and snapshot-oriented: every
+metric renders to plain JSON-able values via :meth:`MetricsRegistry.snapshot`,
+which is what the run reports (:mod:`repro.obs.report`) embed.
+
+:class:`MetricsCollector` is the standard probe-bus subscriber turning the
+event streams into the quantities the paper's analyses need: message
+latency percentiles, per-link utilisation and queue-depth series, gateway
+CPU occupancy, per-rank compute time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from .events import (BlockEvent, ComputeEvent, DeliverEvent, GatewayEvent,
+                     QueueEvent, SendEvent, UnblockEvent)
+
+
+class Counter:
+    """A monotonically increasing count (messages, bytes, drops)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-value-wins measurement (utilisation, occupancy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class TimeSeries:
+    """(time, value) samples, capped; drops beyond the cap are counted."""
+
+    __slots__ = ("samples", "max_samples", "dropped")
+
+    def __init__(self, max_samples: int = 10_000) -> None:
+        self.samples: List[Tuple[float, float]] = []
+        self.max_samples = max_samples
+        self.dropped = 0
+
+    def record(self, time: float, value: float) -> None:
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return
+        self.samples.append((time, value))
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"samples": len(self.samples)}
+        if self.samples:
+            values = [v for _, v in self.samples]
+            out["mean"] = sum(values) / len(values)
+            out["max"] = max(values)
+        if self.dropped:
+            out["dropped"] = self.dropped
+        return out
+
+
+class Histogram:
+    """Fixed log-spaced bins over [lo, hi); O(1) observe, percentile reads.
+
+    Bin ``i`` covers ``[lo * r**i, lo * r**(i+1))`` with
+    ``r = 10 ** (1 / bins_per_decade)``; values below ``lo`` land in an
+    underflow bin, values at or above ``hi`` in an overflow bin.
+    Percentiles are estimated as the upper edge of the bin containing the
+    requested rank (the usual fixed-bucket estimator), so they are upper
+    bounds with relative error bounded by one bin width.
+    """
+
+    __slots__ = ("lo", "hi", "bins_per_decade", "_ratio_log", "_counts",
+                 "count", "total", "min", "max")
+
+    def __init__(self, lo: float = 1e-7, hi: float = 1e3,
+                 bins_per_decade: int = 10) -> None:
+        if not (0 < lo < hi):
+            raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        if bins_per_decade <= 0:
+            raise ValueError(f"bins_per_decade must be positive, got {bins_per_decade}")
+        self.lo = lo
+        self.hi = hi
+        self.bins_per_decade = bins_per_decade
+        self._ratio_log = math.log10(hi / lo)
+        nbins = int(math.ceil(bins_per_decade * self._ratio_log))
+        # counts[0] is the underflow bin, counts[-1] the overflow bin.
+        self._counts = [0] * (nbins + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bin_index(self, value: float) -> int:
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return len(self._counts) - 1
+        frac = math.log10(value / self.lo) / self._ratio_log
+        return 1 + min(len(self._counts) - 3, int(frac * (len(self._counts) - 2)))
+
+    def _bin_upper(self, index: int) -> float:
+        if index <= 0:
+            return self.lo
+        if index >= len(self._counts) - 1:
+            return self.hi
+        return self.lo * 10 ** (index * self._ratio_log / (len(self._counts) - 2))
+
+    def observe(self, value: float) -> None:
+        self._counts[self._bin_index(value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Upper-edge estimate of the ``p``-th percentile (0 < p <= 100)."""
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for i, c in enumerate(self._counts):
+            seen += c
+            if seen >= rank:
+                if i == len(self._counts) - 1:
+                    return self.max  # overflow bin has no finite upper edge
+                # Clamp the edge estimate into the observed range so tiny
+                # samples do not report beyond their own extremes.
+                return min(self._bin_upper(i), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and one-call snapshot."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls, *args, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(*args, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            f"not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        return self._get(name, Histogram, **kwargs)
+
+    def series(self, name: str, **kwargs) -> TimeSeries:
+        return self._get(name, TimeSeries, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics rendered to JSON-able values, sorted by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+
+class MetricsCollector:
+    """Probe-bus subscriber populating the standard run metrics.
+
+    Attach with ``bus.attach(collector)`` (or pass a prepared bus to
+    :class:`~repro.runtime.machine.Machine`), run, then call
+    :meth:`finalize` with the simulated run time to turn accumulated busy
+    times into utilisation/occupancy gauges.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 backlog_series: bool = False) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.backlog_series = backlog_series
+        self._link_busy: Dict[str, float] = {}
+        self._gateway_busy: Dict[int, float] = {}
+        self._rank_compute: Dict[int, float] = {}
+
+    # -- bus handlers ---------------------------------------------------
+    def on_send(self, ev: SendEvent) -> None:
+        reg = self.registry
+        reg.counter("messages.total").inc()
+        reg.counter("bytes.total").inc(ev.size)
+        if ev.inter_cluster:
+            reg.counter("messages.wan").inc()
+            reg.counter("bytes.wan").inc(ev.size)
+
+    def on_deliver(self, ev: DeliverEvent) -> None:
+        self.registry.histogram("message.latency_s").observe(ev.latency)
+
+    def on_compute(self, ev: ComputeEvent) -> None:
+        self._rank_compute[ev.rank] = (
+            self._rank_compute.get(ev.rank, 0.0) + (ev.end - ev.start))
+
+    def on_queue(self, ev: QueueEvent) -> None:
+        reg = self.registry
+        reg.counter(f"link.{ev.link}.messages").inc()
+        reg.counter(f"link.{ev.link}.bytes").inc(ev.size)
+        self._link_busy[ev.link] = self._link_busy.get(ev.link, 0.0) + ev.duration
+        reg.histogram("link.queue_wait_s").observe(ev.wait)
+        if self.backlog_series:
+            reg.series(f"link.{ev.link}.backlog_s").record(ev.time, ev.wait)
+
+    def on_gateway(self, ev: GatewayEvent) -> None:
+        self.registry.counter(f"gateway.c{ev.cluster}.messages").inc()
+        self._gateway_busy[ev.cluster] = (
+            self._gateway_busy.get(ev.cluster, 0.0) + (ev.end - ev.start))
+
+    def on_block(self, ev: BlockEvent) -> None:
+        self.registry.counter("recv.blocks").inc()
+
+    def on_unblock(self, ev: UnblockEvent) -> None:
+        self.registry.histogram("recv.blocked_s").observe(ev.waited)
+
+    # -- finishing ------------------------------------------------------
+    def finalize(self, sim_time: float) -> MetricsRegistry:
+        """Convert busy-time accumulators into gauges over ``sim_time``."""
+        reg = self.registry
+        horizon = sim_time if sim_time > 0 else 1.0
+        for link, busy in self._link_busy.items():
+            reg.gauge(f"link.{link}.utilization").set(min(1.0, busy / horizon))
+        for cluster, busy in self._gateway_busy.items():
+            reg.gauge(f"gateway.c{cluster}.occupancy").set(min(1.0, busy / horizon))
+        if self._rank_compute:
+            utils = [busy / horizon for busy in self._rank_compute.values()]
+            reg.gauge("ranks.mean_compute_utilization").set(sum(utils) / len(utils))
+        return reg
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()

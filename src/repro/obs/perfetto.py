@@ -1,0 +1,169 @@
+"""Chrome/Perfetto ``trace_event`` export of a simulated run.
+
+:class:`PerfettoTrace` is a probe-bus subscriber that buffers events and
+renders the Chrome trace-event JSON format (the ``{"traceEvents": [...]}``
+object), loadable in https://ui.perfetto.dev or ``chrome://tracing``.
+
+Track layout:
+
+- pid 1 ``ranks`` — one thread per rank: compute slices, blocked-on-recv
+  slices, collective-phase nesting (B/E), send/deliver instants.
+- pid 2 ``links`` — one thread per link (first-seen order): transfer
+  slices, plus a ``backlog_s`` counter track per link (queue depth).
+- pid 3 ``gateways`` — one thread per cluster gateway CPU: service slices.
+
+All timestamps are simulated microseconds.  The export is a pure function
+of the simulated event stream — the same seed produces byte-identical
+JSON (events are buffered in engine order and serialized with sorted
+keys), which makes traces diffable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .events import (ComputeEvent, DeliverEvent, GatewayEvent, PhaseEvent,
+                     QueueEvent, SendEvent, UnblockEvent)
+
+RANKS_PID = 1
+LINKS_PID = 2
+GATEWAYS_PID = 3
+
+
+def _us(t: float) -> float:
+    """Simulated seconds -> trace microseconds, ns-rounded for stable JSON."""
+    return round(t * 1e6, 3)
+
+
+class PerfettoTrace:
+    """Buffers probe events and renders Chrome ``trace_event`` JSON."""
+
+    def __init__(self, topology=None, max_events: int = 2_000_000) -> None:
+        #: optional :class:`~repro.network.topology.Topology`, used only to
+        #: label rank threads with their cluster.
+        self.topology = topology
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[Dict[str, Any]] = []
+        self._link_tids: Dict[str, int] = {}
+        self._ranks_seen: Dict[int, bool] = {}
+        self._clusters_seen: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def _add(self, event: Dict[str, Any]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def _rank_tid(self, rank: int) -> int:
+        self._ranks_seen[rank] = True
+        return rank + 1
+
+    def _link_tid(self, link: str) -> int:
+        tid = self._link_tids.get(link)
+        if tid is None:
+            tid = len(self._link_tids) + 1
+            self._link_tids[link] = tid
+        return tid
+
+    # -- bus handlers ---------------------------------------------------
+    def on_compute(self, ev: ComputeEvent) -> None:
+        self._add({"name": "compute", "cat": "cpu", "ph": "X",
+                   "ts": _us(ev.start), "dur": _us(ev.end - ev.start),
+                   "pid": RANKS_PID, "tid": self._rank_tid(ev.rank)})
+
+    def on_send(self, ev: SendEvent) -> None:
+        self._add({"name": "send", "cat": "msg", "ph": "i", "s": "t",
+                   "ts": _us(ev.time), "pid": RANKS_PID,
+                   "tid": self._rank_tid(ev.src),
+                   "args": {"dst": ev.dst, "size": ev.size,
+                            "tag": str(ev.tag), "wan": ev.inter_cluster}})
+
+    def on_deliver(self, ev: DeliverEvent) -> None:
+        self._add({"name": "deliver", "cat": "msg", "ph": "i", "s": "t",
+                   "ts": _us(ev.time), "pid": RANKS_PID,
+                   "tid": self._rank_tid(ev.dst),
+                   "args": {"src": ev.src, "size": ev.size,
+                            "tag": str(ev.tag),
+                            "latency_us": _us(ev.latency)}})
+
+    def on_unblock(self, ev: UnblockEvent) -> None:
+        # One slice covering the whole blocked interval, emitted at its end.
+        self._add({"name": f"blocked {ev.tag}", "cat": "block", "ph": "X",
+                   "ts": _us(ev.time - ev.waited), "dur": _us(ev.waited),
+                   "pid": RANKS_PID, "tid": self._rank_tid(ev.rank)})
+
+    def on_phase(self, ev: PhaseEvent) -> None:
+        self._add({"name": ev.name, "cat": "phase",
+                   "ph": "B" if ev.kind == "enter" else "E",
+                   "ts": _us(ev.time), "pid": RANKS_PID,
+                   "tid": self._rank_tid(ev.rank)})
+
+    def on_queue(self, ev: QueueEvent) -> None:
+        start = ev.time + ev.wait
+        self._add({"name": f"xfer {ev.size}B", "cat": "link", "ph": "X",
+                   "ts": _us(start), "dur": _us(ev.duration),
+                   "pid": LINKS_PID, "tid": self._link_tid(ev.link)})
+        self._add({"name": f"{ev.link} backlog_s", "cat": "link", "ph": "C",
+                   "ts": _us(ev.time), "pid": LINKS_PID,
+                   "args": {"backlog_s": round(ev.wait, 9)}})
+
+    def on_gateway(self, ev: GatewayEvent) -> None:
+        self._add({"name": f"gw c{ev.cluster}", "cat": "gateway", "ph": "X",
+                   "ts": _us(ev.start), "dur": _us(ev.end - ev.start),
+                   "pid": GATEWAYS_PID, "tid": ev.cluster + 1,
+                   "args": {"size": ev.size,
+                            "queued_us": _us(ev.start - ev.time)}})
+        self._clusters_seen[ev.cluster] = True
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _metadata(self) -> List[Dict[str, Any]]:
+        meta: List[Dict[str, Any]] = []
+
+        def name_of(pid: int, label: str) -> None:
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": label}})
+
+        def thread(pid: int, tid: int, label: str) -> None:
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": label}})
+
+        name_of(RANKS_PID, "ranks")
+        for rank in sorted(self._ranks_seen):
+            label = f"rank {rank}"
+            if self.topology is not None:
+                label += f" (c{self.topology.cluster_of(rank)})"
+            thread(RANKS_PID, rank + 1, label)
+        if self._link_tids:
+            name_of(LINKS_PID, "links")
+            for link, tid in sorted(self._link_tids.items(), key=lambda kv: kv[1]):
+                thread(LINKS_PID, tid, link)
+        if self._clusters_seen:
+            name_of(GATEWAYS_PID, "gateways")
+            for cluster in sorted(self._clusters_seen):
+                thread(GATEWAYS_PID, cluster + 1, f"gw c{cluster}")
+        return meta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": self._metadata() + self._events,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: sorted keys, compact separators."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def write(self, path: str) -> int:
+        """Write the trace JSON to ``path``; returns the event count."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,143 @@
+"""JSON-lines run reports: one machine-readable record per simulated run.
+
+A run record captures what you need to regenerate or audit a data point:
+harness metadata (app, variant, scale), seed, topology, simulated and
+wall-clock time, the full traffic summary (including the inter-cluster
+pair matrix), and — when a :class:`~repro.obs.metrics.MetricsCollector`
+was attached — the metrics snapshot.
+
+Reports are append-only JSON lines (one object per line, sorted keys),
+so sweeps can be resumed, concatenated, and loaded with one-liners::
+
+    import json
+    records = [json.loads(l) for l in open("report.jsonl")]
+
+Emission points:
+
+- :func:`repro.runtime.run.run_spmd` emits to the *active reporter* —
+  either one installed with :func:`set_reporter` or the path named by the
+  ``REPRO_RUN_REPORT`` environment variable.  Because every experiment
+  harness funnels through ``run_spmd``/``run_app``, setting that variable
+  turns any existing harness into a report producer with no code changes.
+- :class:`repro.experiments.runner.Sweeper` accepts an explicit
+  ``reporter=`` for programmatic sweeps.
+- ``python -m repro trace`` always writes one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+
+def topology_record(topology) -> Dict[str, Any]:
+    """JSON-able summary of a :class:`~repro.network.topology.Topology`."""
+    return {
+        "clusters": list(topology.cluster_sizes),
+        "num_ranks": topology.num_ranks,
+        "wan_shape": topology.wan_shape,
+        "local_latency_s": topology.local.latency,
+        "local_bandwidth_byte_s": topology.local.bandwidth,
+        "wan_latency_s": topology.wide.latency,
+        "wan_bandwidth_byte_s": topology.wide.bandwidth,
+        "gateway_overhead_s": topology.gateway_overhead,
+        "gap_bandwidth": topology.gap_bandwidth(),
+        "gap_latency": topology.gap_latency(),
+        "describe": topology.describe(),
+    }
+
+
+def run_record(machine, runtime: float, wall_time_s: float,
+               meta: Optional[Dict[str, Any]] = None,
+               metrics=None) -> Dict[str, Any]:
+    """Build one run-report record from a finished machine.
+
+    ``metrics`` may be a :class:`~repro.obs.metrics.MetricsCollector` or a
+    :class:`~repro.obs.metrics.MetricsRegistry` (anything with
+    ``snapshot()``); pass the collector *after* calling ``finalize``.
+    """
+    record: Dict[str, Any] = {
+        "kind": "run",
+        "meta": dict(meta or {}),
+        "seed": machine.seed,
+        "topology": topology_record(machine.topology),
+        "sim_time_s": runtime,
+        "wall_time_s": wall_time_s,
+        "engine_events": machine.engine.events_processed,
+        "traffic": machine.stats.summary(),
+    }
+    if metrics is not None:
+        record["metrics"] = metrics.snapshot()
+    return record
+
+
+class RunReporter:
+    """Appends JSON-lines records to a file (or any ``.write()`` stream)."""
+
+    def __init__(self, path_or_stream) -> None:
+        if hasattr(path_or_stream, "write"):
+            self._stream = path_or_stream
+            self._owns = False
+            self.path = getattr(path_or_stream, "name", "<stream>")
+        else:
+            self._stream = open(path_or_stream, "a")
+            self._owns = True
+            self.path = str(path_or_stream)
+        self.records = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True, default=str))
+        self._stream.write("\n")
+        self._stream.flush()
+        self.records += 1
+
+    def close(self) -> None:
+        if self._owns and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "RunReporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Ambient reporter (explicit install beats the environment variable)
+# ----------------------------------------------------------------------
+_installed: Optional[RunReporter] = None
+_env_reporter: Optional[RunReporter] = None
+_env_path: Optional[str] = None
+
+
+def set_reporter(reporter: Optional[RunReporter]) -> None:
+    """Install (or with ``None``, remove) the process-wide reporter."""
+    global _installed
+    _installed = reporter
+
+
+def active_reporter() -> Optional[RunReporter]:
+    """The reporter every ``run_spmd`` emits to, or None.
+
+    Resolution order: the reporter installed via :func:`set_reporter`,
+    else a lazily opened reporter on ``$REPRO_RUN_REPORT``, else None.
+    """
+    if _installed is not None:
+        return _installed
+    path = os.environ.get("REPRO_RUN_REPORT")
+    if not path:
+        return None
+    global _env_reporter, _env_path
+    if _env_reporter is None or _env_path != path:
+        if _env_reporter is not None:
+            _env_reporter.close()
+        _env_reporter = RunReporter(path)
+        _env_path = path
+    return _env_reporter
+
+
+def load_report(path: str) -> list:
+    """Read a JSON-lines report back into a list of records."""
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]

@@ -24,15 +24,16 @@ def flat_barrier(ctx: Context, barrier_id: Any, root: int = 0,
     group = list(ranks) if ranks is not None else list(ctx.topology.ranks())
     arrive = ("bar-arrive", barrier_id)
     release = ("bar-release", barrier_id)
-    if ctx.rank == root:
-        for _ in range(len(group) - 1):
-            yield ctx.recv(arrive)
-        for r in group:
-            if r != root:
-                yield ctx.send(r, CONTROL_BYTES, release)
-    else:
-        yield ctx.send(root, CONTROL_BYTES, arrive)
-        yield ctx.recv(release)
+    with ctx.phase("flat_barrier"):
+        if ctx.rank == root:
+            for _ in range(len(group) - 1):
+                yield ctx.recv(arrive)
+            for r in group:
+                if r != root:
+                    yield ctx.send(r, CONTROL_BYTES, release)
+        else:
+            yield ctx.send(root, CONTROL_BYTES, arrive)
+            yield ctx.recv(release)
 
 
 def tree_barrier(ctx: Context, barrier_id: Any) -> Generator:
@@ -49,22 +50,23 @@ def tree_barrier(ctx: Context, barrier_id: Any) -> Generator:
     local_release = ("tbar-lr", barrier_id)
     wan_release = ("tbar-wr", barrier_id)
 
-    if ctx.rank == leader:
-        for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
-            yield ctx.recv(local_arrive)
-        if leader == root:
-            for _ in range(topo.num_clusters - 1):
-                yield ctx.recv(wan_arrive)
-            for cid in topo.clusters():
-                other = topo.cluster_leader(cid)
-                if other != root:
-                    yield ctx.send(other, CONTROL_BYTES, wan_release)
+    with ctx.phase("tree_barrier"):
+        if ctx.rank == leader:
+            for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
+                yield ctx.recv(local_arrive)
+            if leader == root:
+                for _ in range(topo.num_clusters - 1):
+                    yield ctx.recv(wan_arrive)
+                for cid in topo.clusters():
+                    other = topo.cluster_leader(cid)
+                    if other != root:
+                        yield ctx.send(other, CONTROL_BYTES, wan_release)
+            else:
+                yield ctx.send(root, CONTROL_BYTES, wan_arrive)
+                yield ctx.recv(wan_release)
+            for r in topo.cluster_members(ctx.cluster):
+                if r != leader:
+                    yield ctx.send(r, CONTROL_BYTES, local_release)
         else:
-            yield ctx.send(root, CONTROL_BYTES, wan_arrive)
-            yield ctx.recv(wan_release)
-        for r in topo.cluster_members(ctx.cluster):
-            if r != leader:
-                yield ctx.send(r, CONTROL_BYTES, local_release)
-    else:
-        yield ctx.send(leader, CONTROL_BYTES, local_arrive)
-        yield ctx.recv(local_release)
+            yield ctx.send(leader, CONTROL_BYTES, local_arrive)
+            yield ctx.recv(local_release)

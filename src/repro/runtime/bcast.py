@@ -24,22 +24,23 @@ def flat_bcast(ctx: Context, bcast_id: Any, root: int, size: int,
     p = topo.num_ranks
     tag = ("bcast", bcast_id)
     vrank = (ctx.rank - root) % p
-    if vrank != 0:
-        msg = yield ctx.recv(tag)
-        payload = msg.payload
-    # After receiving (or as root), forward along the binomial tree: in
-    # round k, ranks with vrank < 2^k send to vrank + 2^k.
-    mask = 1
-    while mask < p:
-        if vrank < mask:
-            peer = vrank + mask
-            if peer < p:
-                yield ctx.send((peer + root) % p, size, tag, payload)
-        mask <<= 1
-    # Receivers above have already received before forwarding because the
-    # binomial schedule guarantees the parent's send precedes the child's
-    # forwarding rounds; Python-level we enforced it by receiving first.
-    return payload
+    with ctx.phase("flat_bcast"):
+        if vrank != 0:
+            msg = yield ctx.recv(tag)
+            payload = msg.payload
+        # After receiving (or as root), forward along the binomial tree: in
+        # round k, ranks with vrank < 2^k send to vrank + 2^k.
+        mask = 1
+        while mask < p:
+            if vrank < mask:
+                peer = vrank + mask
+                if peer < p:
+                    yield ctx.send((peer + root) % p, size, tag, payload)
+            mask <<= 1
+        # Receivers above have already received before forwarding because the
+        # binomial schedule guarantees the parent's send precedes the child's
+        # forwarding rounds; Python-level we enforced it by receiving first.
+        return payload
 
 
 def hier_bcast(ctx: Context, bcast_id: Any, root: int, size: int,
@@ -56,20 +57,21 @@ def hier_bcast(ctx: Context, bcast_id: Any, root: int, size: int,
     # the cluster leader elsewhere.
     my_entry = root if ctx.cluster == root_cluster else topo.cluster_leader(ctx.cluster)
 
-    if ctx.rank == root:
-        for cid in topo.clusters():
-            if cid != root_cluster:
-                yield ctx.send(topo.cluster_leader(cid), size, tag_wan, payload)
-    elif ctx.rank == my_entry:
-        msg = yield ctx.recv(tag_wan)
-        payload = msg.payload
+    with ctx.phase("hier_bcast"):
+        if ctx.rank == root:
+            for cid in topo.clusters():
+                if cid != root_cluster:
+                    yield ctx.send(topo.cluster_leader(cid), size, tag_wan, payload)
+        elif ctx.rank == my_entry:
+            msg = yield ctx.recv(tag_wan)
+            payload = msg.payload
 
-    members = list(topo.cluster_members(ctx.cluster))
-    if ctx.rank == my_entry:
-        others = [r for r in members if r != ctx.rank]
-        if others:
-            yield ctx.multicast(others, size, tag_loc, payload)
-    else:
-        msg = yield ctx.recv(tag_loc)
-        payload = msg.payload
-    return payload
+        members = list(topo.cluster_members(ctx.cluster))
+        if ctx.rank == my_entry:
+            others = [r for r in members if r != ctx.rank]
+            if others:
+                yield ctx.multicast(others, size, tag_loc, payload)
+        else:
+            msg = yield ctx.recv(tag_loc)
+            payload = msg.payload
+        return payload

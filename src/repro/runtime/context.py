@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..network.message import Message
+from ..obs.events import BlockEvent, ComputeEvent, PhaseEvent, UnblockEvent
 from ..sim.process import Process, Syscall
 from ..sim.rng import make_rng
 from .machine import Machine
@@ -48,8 +49,9 @@ class _Compute(Syscall):
         machine = ctx.machine
         end = machine.cpus[ctx.rank].reserve(machine.now, self.duration)
         machine.rank_stats[ctx.rank].compute_time += self.duration
-        if machine.tracer is not None and self.duration > 0:
-            machine.tracer.record_compute(ctx.rank, end - self.duration, end)
+        bus = machine.bus
+        if bus.want_compute and self.duration > 0:
+            bus.emit("compute", ComputeEvent(end - self.duration, end, ctx.rank))
         machine.engine.call_at(end, lambda: proc._step(None, None))
 
 
@@ -114,6 +116,9 @@ class _Recv(Syscall):
         ctx = self.ctx
         machine = ctx.machine
         wait_start = machine.now
+        bus = machine.bus
+        if bus.want_block:
+            bus.emit("block", BlockEvent(wait_start, ctx.rank, self.tag))
 
         def on_message(msg: Message) -> None:
             stats = machine.rank_stats[ctx.rank]
@@ -121,6 +126,9 @@ class _Recv(Syscall):
                 # Idle time is only meaningful for application processes;
                 # service daemons block on their inboxes by design.
                 stats.recv_blocked_time += machine.now - wait_start
+            if bus.want_unblock:
+                bus.emit("unblock", UnblockEvent(machine.now, ctx.rank, self.tag,
+                                                 machine.now - wait_start))
             topo = machine.topology
             spec = topo.wide if msg.inter_cluster else topo.local
             # Like the send overhead, this is a sequential delay for the
@@ -147,6 +155,43 @@ class _RecvNowait(Syscall):
         if msg is not None:
             machine.rank_stats[ctx.rank].messages_received += 1
         proc.resume(msg)
+
+
+class _PhaseScope:
+    """Publishes phase enter/exit events around a ``with`` block."""
+
+    __slots__ = ("ctx", "name")
+
+    def __init__(self, ctx: "Context", name: str) -> None:
+        self.ctx = ctx
+        self.name = name
+
+    def __enter__(self) -> "_PhaseScope":
+        machine = self.ctx.machine
+        machine.bus.emit("phase", PhaseEvent(machine.now, self.ctx.rank,
+                                             self.name, "enter"))
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        machine = self.ctx.machine
+        machine.bus.emit("phase", PhaseEvent(machine.now, self.ctx.rank,
+                                             self.name, "exit"))
+        return False
+
+
+class _NullPhase:
+    """Shared no-op scope returned when nothing subscribes to phases."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
 
 
 class Context:
@@ -207,6 +252,23 @@ class Context:
     def recv_nowait(self, tag: Any) -> Syscall:
         """Poll for a message tagged ``tag``; yields the Message or None."""
         return _RecvNowait(self, tag)
+
+    def phase(self, name: str):
+        """Scope marking a named application phase on this rank::
+
+            with ctx.phase("exchange"):
+                yield ctx.send(...)
+                msg = yield ctx.recv(...)
+
+        Enter/exit events go to the probe bus (topic ``phase``) and show
+        up as nested slices in the Perfetto export.  When nothing is
+        subscribed this returns a shared no-op scope, so un-instrumented
+        runs pay one flag check.  The runtime collectives (barriers,
+        broadcasts, reductions) are pre-annotated with their own names.
+        """
+        if not self.machine.bus.want_phase:
+            return _NULL_PHASE
+        return _PhaseScope(self, name)
 
     # ------------------------------------------------------------------
     # Composites

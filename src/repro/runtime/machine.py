@@ -19,6 +19,8 @@ from ..network.message import Message
 from ..network.router import Router
 from ..network.stats import TrafficStats
 from ..network.topology import Topology
+from ..obs.bus import ProbeBus
+from ..obs.events import DeliverEvent, SendEvent
 from ..sim.engine import Engine
 from ..sim.events import Mailbox
 from ..sim.process import Process
@@ -94,14 +96,22 @@ class Endpoint:
 class Machine:
     """A two-layer parallel machine executing simulated processes."""
 
-    def __init__(self, topology: Topology, seed: int = 0, tracer=None) -> None:
+    def __init__(self, topology: Topology, seed: int = 0, tracer=None,
+                 bus: Optional[ProbeBus] = None) -> None:
         self.topology = topology
         self.seed = seed
-        #: optional :class:`repro.trace.Tracer` capturing structured events
+        #: the probe bus every layer of this machine publishes into;
+        #: subscribe/attach before or after construction, at will
+        self.bus = bus if bus is not None else ProbeBus()
+        #: optional :class:`repro.trace.Tracer`; kept as an attribute for
+        #: backwards compatibility, attached to the bus like any subscriber
         self.tracer = tracer
+        if tracer is not None:
+            self.bus.attach(tracer)
         self.engine = Engine()
         self.stats = TrafficStats(topology.num_clusters)
-        self.router = Router(topology, self.stats, seed=seed)
+        self.bus.attach(self.stats)
+        self.router = Router(topology, self.stats, seed=seed, bus=self.bus)
         self.endpoints: List[Endpoint] = [Endpoint(r) for r in topology.ranks()]
         self.cpus: List[CpuClock] = [CpuClock() for _ in topology.ranks()]
         self.rank_stats: List[RankStats] = [RankStats() for _ in topology.ranks()]
@@ -160,16 +170,22 @@ class Machine:
         """Route ``msg``; delivery is scheduled through the engine (shared
         resources are reserved in arrival order along the path)."""
         endpoint = self.endpoints[msg.dst]
-        if self.tracer is not None:
+        bus = self.bus
+        if bus.want_deliver:
+            engine = self.engine
+
             def deliver(m: Message) -> None:
-                self.tracer.record_deliver(m, self.engine.now)
+                bus.emit("deliver", DeliverEvent(engine.now, m.src, m.dst,
+                                                 m.size, m.tag,
+                                                 engine.now - m.send_time))
                 endpoint.deliver(m)
         else:
             deliver = endpoint.deliver
         self.router.route(msg, depart_time, self.engine, deliver)
-        if self.tracer is not None:
+        if bus.want_send:
             # After route(): the message knows whether it crossed the WAN.
-            self.tracer.record_send(msg, depart_time)
+            bus.emit("send", SendEvent(depart_time, msg.src, msg.dst,
+                                       msg.size, msg.tag, msg.inter_cluster))
         st = self.rank_stats[msg.src]
         st.messages_sent += 1
         st.bytes_sent += msg.size
@@ -191,7 +207,7 @@ class Machine:
                     f"use point-to-point sends over the WAN"
                 )
         deliver = self.router.nic(src).transfer(depart_time, size)
-        self.stats.record_intra(size)
+        self.bus.emit_traffic_intra(size)
         deliver_time = deliver
         for dst in dsts:
             msg = Message(src=src, dst=dst, tag=tag, size=size, payload=payload)

@@ -25,17 +25,18 @@ def linear_reduce(ctx: Context, red_id: Any, root: int, size: int,
     order is ascending rank, so non-commutative ``op`` is deterministic.
     """
     tag = ("lred", red_id)
-    if ctx.rank == root:
-        contributions = {root: value}
-        for _ in range(ctx.num_ranks - 1):
-            msg = yield ctx.recv(tag)
-            contributions[msg.src] = msg.payload
-        acc = None
-        for r in sorted(contributions):
-            acc = contributions[r] if acc is None else op(acc, contributions[r])
-        return acc
-    yield ctx.send(root, size, tag, value)
-    return None
+    with ctx.phase("linear_reduce"):
+        if ctx.rank == root:
+            contributions = {root: value}
+            for _ in range(ctx.num_ranks - 1):
+                msg = yield ctx.recv(tag)
+                contributions[msg.src] = msg.payload
+            acc = None
+            for r in sorted(contributions):
+                acc = contributions[r] if acc is None else op(acc, contributions[r])
+            return acc
+        yield ctx.send(root, size, tag, value)
+        return None
 
 
 def binomial_reduce(ctx: Context, red_id: Any, root: int, size: int,
@@ -47,17 +48,18 @@ def binomial_reduce(ctx: Context, red_id: Any, root: int, size: int,
     vrank = (ctx.rank - root) % p
     acc = value
     mask = 1
-    while mask < p:
-        if vrank & mask:
-            parent = ((vrank & ~mask) + root) % p
-            yield ctx.send(parent, size, tag, acc)
-            return None
-        peer = vrank | mask
-        if peer < p:
-            msg = yield ctx.recv(tag)
-            acc = op(acc, msg.payload)
-        mask <<= 1
-    return acc
+    with ctx.phase("binomial_reduce"):
+        while mask < p:
+            if vrank & mask:
+                parent = ((vrank & ~mask) + root) % p
+                yield ctx.send(parent, size, tag, acc)
+                return None
+            peer = vrank | mask
+            if peer < p:
+                msg = yield ctx.recv(tag)
+                acc = op(acc, msg.payload)
+            mask <<= 1
+        return acc
 
 
 def hier_reduce(ctx: Context, red_id: Any, root: int, size: int,
@@ -72,31 +74,32 @@ def hier_reduce(ctx: Context, red_id: Any, root: int, size: int,
     # result does not take an extra local hop.
     leader = root if ctx.cluster == root_cluster else topo.cluster_leader(ctx.cluster)
 
-    if ctx.rank != leader:
-        yield ctx.send(leader, size, tag_loc, value)
+    with ctx.phase("hier_reduce"):
+        if ctx.rank != leader:
+            yield ctx.send(leader, size, tag_loc, value)
+            return None
+
+        acc = value
+        contributions = {ctx.rank: value}
+        for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
+            msg = yield ctx.recv(tag_loc)
+            contributions[msg.src] = msg.payload
+        acc = None
+        for r in sorted(contributions):
+            acc = contributions[r] if acc is None else op(acc, contributions[r])
+
+        if ctx.rank == root:
+            cluster_parts = {root_cluster: acc}
+            for _ in range(topo.num_clusters - 1):
+                msg = yield ctx.recv(tag_wan)
+                cluster_parts[topo.cluster_of(msg.src)] = msg.payload
+            total = None
+            for cid in sorted(cluster_parts):
+                part = cluster_parts[cid]
+                total = part if total is None else op(total, part)
+            return total
+        yield ctx.send(root, size, tag_wan, acc)
         return None
-
-    acc = value
-    contributions = {ctx.rank: value}
-    for _ in range(len(topo.cluster_members(ctx.cluster)) - 1):
-        msg = yield ctx.recv(tag_loc)
-        contributions[msg.src] = msg.payload
-    acc = None
-    for r in sorted(contributions):
-        acc = contributions[r] if acc is None else op(acc, contributions[r])
-
-    if ctx.rank == root:
-        cluster_parts = {root_cluster: acc}
-        for _ in range(topo.num_clusters - 1):
-            msg = yield ctx.recv(tag_wan)
-            cluster_parts[topo.cluster_of(msg.src)] = msg.payload
-        total = None
-        for cid in sorted(cluster_parts):
-            part = cluster_parts[cid]
-            total = part if total is None else op(total, part)
-        return total
-    yield ctx.send(root, size, tag_wan, acc)
-    return None
 
 
 def allreduce(ctx: Context, red_id: Any, size: int, value: Any,

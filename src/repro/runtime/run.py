@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..network.stats import TrafficStats
 from ..network.topology import Topology
+from ..obs.bus import ProbeBus
+from ..obs.report import active_reporter, run_record
 from .context import Context
 from .machine import Machine, RankStats
 
@@ -20,6 +23,8 @@ class RunResult:
     runtime: float
     results: List[Any]
     machine: Machine
+    #: host wall-clock seconds spent inside ``machine.run()``
+    wall_time: float = 0.0
 
     @property
     def stats(self) -> TrafficStats:
@@ -38,15 +43,32 @@ def run_spmd(
     main: MainBody,
     seed: int = 0,
     until: Optional[float] = None,
+    bus: Optional[ProbeBus] = None,
+    report_meta: Optional[Dict[str, Any]] = None,
 ) -> RunResult:
     """Run ``main(ctx)`` on every rank of ``topology`` to completion.
 
     ``main`` receives a bound :class:`Context`; it may spawn services.
     Returns the :class:`RunResult` with the parallel runtime (completion
     time of the slowest rank) and each rank's return value.
+
+    ``bus`` attaches a prepared :class:`~repro.obs.bus.ProbeBus` (with
+    tracers/metrics/exporters already subscribed) to the machine.  Use a
+    fresh bus per run — the machine wires its own traffic accounting into
+    it.  When a run reporter is active (see
+    :func:`repro.obs.report.active_reporter`), one JSON-lines record is
+    emitted per run, tagged with ``report_meta``.
     """
-    machine = Machine(topology, seed=seed)
+    machine = Machine(topology, seed=seed, bus=bus)
     for rank in topology.ranks():
         machine.spawn(rank, main, name=f"rank{rank}")
+    wall_start = time.perf_counter()
     machine.run(until=until)
-    return RunResult(runtime=machine.runtime(), results=machine.results(), machine=machine)
+    wall = time.perf_counter() - wall_start
+    result = RunResult(runtime=machine.runtime(), results=machine.results(),
+                       machine=machine, wall_time=wall)
+    reporter = active_reporter()
+    if reporter is not None:
+        reporter.emit(run_record(machine, result.runtime, wall,
+                                 meta=report_meta))
+    return result

@@ -14,6 +14,7 @@ from repro.experiments.export import (
     main,
     to_csv,
     to_json,
+    traffic_rows,
 )
 
 
@@ -65,4 +66,17 @@ def test_main_stdout_json(capsys):
 
 
 def test_all_datasets_registered():
-    assert set(DATASETS) == {"table1", "figure1", "figure3", "figure4"}
+    assert set(DATASETS) == {"table1", "figure1", "figure3", "figure4",
+                             "traffic"}
+
+
+def test_traffic_rows_pair_matrix():
+    rows = traffic_rows(apps=["asp"])
+    assert rows, "asp crosses the WAN at the Figure 1 point"
+    for row in rows:
+        assert row["app"] == "asp"
+        assert row["src_cluster"] != row["dst_cluster"]
+        assert row["messages"] > 0 and row["mbytes"] > 0
+    # Directional pairs are unique and sorted.
+    pairs = [(r["src_cluster"], r["dst_cluster"]) for r in rows]
+    assert pairs == sorted(set(pairs))

@@ -46,5 +46,34 @@ def test_summary_keys():
     stats.mark_end(1.0)
     s = stats.summary()
     for key in ("duration_s", "inter_messages", "total_mbyte_per_s",
-                "inter_mbyte_per_s_per_cluster"):
+                "inter_mbyte_per_s_per_cluster", "pair"):
         assert key in s
+
+
+def test_pair_matrix_in_summary_and_rows():
+    stats = TrafficStats(num_clusters=3)
+    stats.record_inter(0, 1, 1_000_000)
+    stats.record_inter(0, 1, 1_000_000)
+    stats.record_inter(2, 0, 500_000)
+    stats.mark_end(1.0)
+
+    pair = stats.summary()["pair"]
+    assert pair["0->1"] == {"messages": 2, "mbytes": 2.0}
+    assert pair["2->0"] == {"messages": 1, "mbytes": 0.5}
+    assert "1->0" not in pair  # directional: only observed pairs appear
+
+    rows = stats.pair_rows()
+    assert rows == [
+        {"src_cluster": 0, "dst_cluster": 1, "messages": 2, "mbytes": 2.0},
+        {"src_cluster": 2, "dst_cluster": 0, "messages": 1, "mbytes": 0.5},
+    ]
+
+
+def test_probe_bus_subscriber_aliases():
+    stats = TrafficStats(num_clusters=2)
+    stats.on_traffic_intra(100)
+    stats.on_traffic_inter(0, 1, 200)
+    assert stats.intra.bytes == 100
+    assert stats.inter.bytes == 200
+    assert stats.pair[(0, 1)].messages == 1
+    assert stats.pair[(0, 1)].bytes == 200

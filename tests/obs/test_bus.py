@@ -1,0 +1,104 @@
+"""Unit tests for the probe bus: topics, fast-path flags, attach/detach."""
+
+import pytest
+
+from repro.obs.bus import TOPICS, ProbeBus
+from repro.obs.events import SendEvent
+
+
+def test_flags_start_cold():
+    bus = ProbeBus()
+    for topic in TOPICS:
+        assert getattr(bus, f"want_{topic}") is False
+        assert bus.subscriber_count(topic) == 0
+
+
+def test_subscribe_sets_flag_and_delivers():
+    bus = ProbeBus()
+    seen = []
+    bus.subscribe("send", seen.append)
+    assert bus.want_send is True
+    ev = SendEvent(1.0, 0, 1, 64, "t", False)
+    bus.emit("send", ev)
+    assert seen == [ev]
+    # Other topics stay cold.
+    assert bus.want_deliver is False
+
+
+def test_unsubscribe_clears_flag_only_when_empty():
+    bus = ProbeBus()
+    a, b = [], []
+    bus.subscribe("compute", a.append)
+    bus.subscribe("compute", b.append)
+    bus.unsubscribe("compute", a.append)
+    assert bus.want_compute is True  # b still listening
+    bus.unsubscribe("compute", b.append)
+    assert bus.want_compute is False
+
+
+def test_unknown_topic_raises():
+    bus = ProbeBus()
+    with pytest.raises(ValueError, match="unknown probe topic"):
+        bus.subscribe("bogus", lambda ev: None)
+
+
+def test_attach_wires_all_handlers():
+    class Sub:
+        def __init__(self):
+            self.sends = []
+            self.intra = []
+
+        def on_send(self, ev):
+            self.sends.append(ev)
+
+        def on_traffic_intra(self, size):
+            self.intra.append(size)
+
+    bus = ProbeBus()
+    sub = Sub()
+    attached = bus.attach(sub)
+    assert attached == ["send", "traffic_intra"]
+    bus.emit("send", "ev")
+    bus.emit_traffic_intra(4096)
+    assert sub.sends == ["ev"]
+    assert sub.intra == [4096]
+
+
+def test_attach_rejects_handlerless_object():
+    class Nothing:
+        pass
+
+    with pytest.raises(ValueError, match="no on_<topic> handler"):
+        ProbeBus().attach(Nothing())
+
+
+def test_detach_reverses_attach():
+    class Sub:
+        def on_send(self, ev):
+            pass
+
+        def on_queue(self, ev):
+            pass
+
+    bus = ProbeBus()
+    sub = Sub()
+    bus.attach(sub)
+    assert bus.want_send and bus.want_queue
+    bus.detach(sub)
+    assert not bus.want_send and not bus.want_queue
+    assert bus.subscriber_count("send") == 0
+
+
+def test_traffic_inter_positional_args():
+    bus = ProbeBus()
+    seen = []
+    bus.subscribe("traffic_inter", lambda s, d, size: seen.append((s, d, size)))
+    bus.emit_traffic_inter(0, 3, 1024)
+    assert seen == [(0, 3, 1024)]
+
+
+def test_emit_without_subscribers_is_noop():
+    bus = ProbeBus()
+    bus.emit("send", object())  # no subscribers: nothing to call
+    bus.emit_traffic_intra(1)
+    bus.emit_traffic_inter(0, 1, 2)

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry and the standard collector."""
+
+import pytest
+
+from repro.network import das_topology
+from repro.obs.bus import ProbeBus
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsCollector,
+                               MetricsRegistry, TimeSeries)
+from repro.runtime import Machine
+
+
+def test_counter_and_gauge():
+    c = Counter()
+    c.inc()
+    c.inc(41)
+    assert c.snapshot() == 42
+    g = Gauge()
+    g.set(0.75)
+    assert g.snapshot() == 0.75
+
+
+def test_timeseries_cap_counts_drops():
+    ts = TimeSeries(max_samples=2)
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 3.0)
+    ts.record(2.0, 5.0)
+    snap = ts.snapshot()
+    assert snap["samples"] == 2
+    assert snap["dropped"] == 1
+    assert snap["mean"] == pytest.approx(2.0)
+    assert snap["max"] == 3.0
+
+
+def test_histogram_percentiles_bracket_exact_values():
+    h = Histogram(lo=1e-6, hi=10.0, bins_per_decade=20)
+    values = [0.001 * (i + 1) for i in range(1000)]  # 1ms .. 1s uniform
+    for v in values:
+        h.observe(v)
+    assert h.count == 1000
+    assert h.mean == pytest.approx(sum(values) / 1000)
+    # Upper-edge estimator: within one bin width (10^(1/20) ~ 12%) above.
+    for p, exact in ((50, 0.5), (95, 0.95), (99, 0.99)):
+        est = h.percentile(p)
+        assert exact <= est <= exact * 10 ** (1 / 20) * 1.001
+    assert h.percentile(100) == h.max
+
+
+def test_histogram_under_and_overflow():
+    h = Histogram(lo=1.0, hi=10.0, bins_per_decade=5)
+    h.observe(0.5)    # underflow
+    h.observe(100.0)  # overflow
+    assert h.count == 2
+    assert h.percentile(50) == pytest.approx(1.0)  # underflow upper edge = lo
+    assert h.percentile(99) == 100.0  # clamped to observed max
+
+
+def test_histogram_percentile_clamped_to_observed_max():
+    h = Histogram()
+    h.observe(0.0031)
+    assert h.percentile(99) == 0.0031
+
+
+def test_histogram_empty_and_bad_args():
+    assert Histogram().percentile(50) == 0.0
+    assert Histogram().snapshot() == {"count": 0}
+    with pytest.raises(ValueError):
+        Histogram(lo=0.0, hi=1.0)
+    with pytest.raises(ValueError):
+        Histogram(bins_per_decade=0)
+
+
+def test_registry_get_or_create_and_type_check():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+    reg.histogram("h").observe(1.0)
+    assert reg.names() == ["a", "h"]
+    snap = reg.snapshot()
+    assert snap["a"] == 0
+    assert snap["h"]["count"] == 1
+
+
+def test_collector_end_to_end():
+    topo = das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=2.0, wan_bandwidth_mbyte_s=2.0)
+    collector = MetricsCollector(backlog_series=True)
+    bus = ProbeBus()
+    bus.attach(collector)
+    machine = Machine(topo, bus=bus)
+
+    def body(ctx):
+        yield ctx.compute(0.01)
+        if ctx.rank == 0:
+            yield ctx.send(3, 4096, "m")  # crosses the WAN
+        elif ctx.rank == 3:
+            yield ctx.recv("m")
+
+    for r in topo.ranks():
+        machine.spawn(r, body)
+    machine.run()
+    reg = collector.finalize(machine.runtime())
+    snap = reg.snapshot()
+
+    assert snap["messages.total"] == 1
+    assert snap["messages.wan"] == 1
+    assert snap["bytes.wan"] == 4096
+    assert snap["message.latency_s"]["count"] == 1
+    assert snap["message.latency_s"]["min"] >= 0.002  # >= WAN latency
+    assert snap["recv.blocks"] == 1
+    assert snap["recv.blocked_s"]["count"] == 1
+    # One gateway served on each side of the WAN hop.
+    assert snap["gateway.c0.messages"] == 1
+    assert snap["gateway.c1.messages"] == 1
+    assert 0.0 < snap["gateway.c0.occupancy"] <= 1.0
+    # Utilization gauges exist for every link the message crossed.
+    link_utils = [v for k, v in snap.items()
+                  if k.startswith("link.") and k.endswith(".utilization")]
+    assert link_utils and all(0.0 <= u <= 1.0 for u in link_utils)
+    assert 0.0 < snap["ranks.mean_compute_utilization"] <= 1.0
+    # Backlog series recorded something for the WAN link.
+    assert any(k.endswith(".backlog_s") for k in snap)
+
+
+def test_finalize_handles_zero_runtime():
+    collector = MetricsCollector()
+    reg = collector.finalize(0.0)
+    assert reg.snapshot() == {}

@@ -1,0 +1,107 @@
+"""Tests for the Chrome/Perfetto trace exporter."""
+
+import json
+
+from repro.apps import default_config, get_builder
+from repro.network import das_topology
+from repro.obs.bus import ProbeBus
+from repro.obs.perfetto import GATEWAYS_PID, LINKS_PID, RANKS_PID, PerfettoTrace
+from repro.runtime.run import run_spmd
+
+
+def small_topo():
+    return das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=1.0, wan_bandwidth_mbyte_s=2.0)
+
+
+def traced_app_json(seed=0):
+    topo = small_topo()
+    config = default_config("asp", "bench")
+    config.n = 32
+    bus = ProbeBus()
+    perfetto = PerfettoTrace(topology=topo)
+    bus.attach(perfetto)
+    run_spmd(topo, get_builder("asp", "optimized")(config), seed=seed, bus=bus)
+    return perfetto.to_json()
+
+
+def test_same_seed_byte_identical_export():
+    assert traced_app_json(seed=0) == traced_app_json(seed=0)
+
+
+def test_export_is_valid_trace_event_json():
+    doc = json.loads(traced_app_json())
+    events = doc["traceEvents"]
+    assert events, "expected a non-empty trace"
+    phases = {e["ph"] for e in events}
+    assert {"X", "i", "M"} <= phases
+    # Every event sits in one of the three declared processes.
+    assert {e["pid"] for e in events} <= {RANKS_PID, LINKS_PID, GATEWAYS_PID}
+    # B/E phase markers are balanced per (pid, tid).
+    depth = {}
+    for e in events:
+        if e["ph"] == "B":
+            depth[(e["pid"], e["tid"])] = depth.get((e["pid"], e["tid"]), 0) + 1
+        elif e["ph"] == "E":
+            depth[(e["pid"], e["tid"])] = depth[(e["pid"], e["tid"])] - 1
+            assert depth[(e["pid"], e["tid"])] >= 0
+    assert all(d == 0 for d in depth.values())
+    # Thread-name metadata covers all four ranks, cluster-labelled.
+    names = [e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "thread_name"
+             and e["pid"] == RANKS_PID]
+    assert names == ["rank 0 (c0)", "rank 1 (c0)", "rank 2 (c1)", "rank 3 (c1)"]
+
+
+def test_blocked_slice_covers_wait_interval():
+    topo = small_topo()
+    perfetto = PerfettoTrace()
+    bus = ProbeBus()
+    bus.attach(perfetto)
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.05)
+            yield ctx.send(3, 64, "late")
+        elif ctx.rank == 3:
+            yield ctx.recv("late")  # blocks from t=0 until delivery
+
+    run_spmd(topo, body, bus=bus)
+    blocked = [e for e in perfetto.to_dict()["traceEvents"]
+               if e.get("cat") == "block"]
+    assert len(blocked) == 1
+    assert blocked[0]["ts"] == 0.0  # backdated to the wait start
+    assert blocked[0]["dur"] >= 50_000  # waited at least the compute time (us)
+
+
+def test_max_events_cap():
+    perfetto = PerfettoTrace(max_events=5)
+    bus = ProbeBus()
+    bus.attach(perfetto)
+    topo = small_topo()
+
+    def body(ctx):
+        for _ in range(20):
+            yield ctx.compute(0.001)
+
+    run_spmd(topo, body, bus=bus)
+    assert len(perfetto) == 5
+    assert perfetto.dropped > 0
+
+
+def test_write_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    topo = small_topo()
+    perfetto = PerfettoTrace(topology=topo)
+    bus = ProbeBus()
+    bus.attach(perfetto)
+
+    def body(ctx):
+        yield ctx.compute(0.01)
+
+    run_spmd(topo, body, bus=bus)
+    count = perfetto.write(str(path))
+    assert count == len(perfetto) > 0
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) == count + len(perfetto._metadata())

@@ -1,0 +1,119 @@
+"""Tests for JSON-lines run reports and the ambient reporter plumbing."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments import grids
+from repro.experiments.runner import Sweeper
+from repro.network import das_topology
+from repro.obs.report import (RunReporter, active_reporter, load_report,
+                              run_record, set_reporter, topology_record)
+from repro.runtime.run import run_spmd
+
+
+@pytest.fixture(autouse=True)
+def clean_ambient(monkeypatch):
+    """Each test starts with no installed reporter and no env override."""
+    monkeypatch.delenv("REPRO_RUN_REPORT", raising=False)
+    set_reporter(None)
+    yield
+    set_reporter(None)
+
+
+def small_topo():
+    return das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=1.0, wan_bandwidth_mbyte_s=2.0)
+
+
+def ping(ctx):
+    if ctx.rank == 0:
+        yield ctx.send(3, 256, "m")
+    elif ctx.rank == 3:
+        yield ctx.recv("m")
+    else:
+        yield ctx.compute(0.001)
+
+
+def test_topology_record_fields():
+    rec = topology_record(small_topo())
+    assert rec["clusters"] == [2, 2]
+    assert rec["num_ranks"] == 4
+    assert rec["wan_latency_s"] == pytest.approx(1e-3)
+    assert rec["gap_latency"] > 1
+    json.dumps(rec)  # JSON-able throughout
+
+
+def test_run_record_contents():
+    result = run_spmd(small_topo(), ping, seed=7)
+    rec = run_record(result.machine, result.runtime, 0.123,
+                     meta={"app": "ping"})
+    assert rec["kind"] == "run"
+    assert rec["seed"] == 7
+    assert rec["meta"] == {"app": "ping"}
+    assert rec["sim_time_s"] == result.runtime
+    assert rec["engine_events"] > 0
+    assert rec["traffic"]["inter_messages"] == 1
+    assert "pair" in rec["traffic"]
+    assert "metrics" not in rec
+
+
+def test_reporter_appends_jsonl(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunReporter(str(path)) as reporter:
+        reporter.emit({"kind": "run", "x": 1})
+        reporter.emit({"kind": "run", "x": 2})
+    assert reporter.records == 2
+    records = load_report(str(path))
+    assert [r["x"] for r in records] == [1, 2]
+    # Append-only: a second reporter extends rather than truncates.
+    with RunReporter(str(path)) as reporter:
+        reporter.emit({"kind": "run", "x": 3})
+    assert [r["x"] for r in load_report(str(path))] == [1, 2, 3]
+
+
+def test_reporter_accepts_stream():
+    buf = io.StringIO()
+    reporter = RunReporter(buf)
+    reporter.emit({"a": 1})
+    reporter.close()  # does not close a caller-owned stream
+    assert json.loads(buf.getvalue()) == {"a": 1}
+
+
+def test_set_reporter_captures_run_spmd():
+    buf = io.StringIO()
+    set_reporter(RunReporter(buf))
+    run_spmd(small_topo(), ping, report_meta={"app": "ping", "variant": "x"})
+    set_reporter(None)
+    rec = json.loads(buf.getvalue())
+    assert rec["meta"] == {"app": "ping", "variant": "x"}
+    assert rec["wall_time_s"] > 0
+
+
+def test_env_var_reporter(tmp_path, monkeypatch):
+    path = tmp_path / "env.jsonl"
+    monkeypatch.setenv("REPRO_RUN_REPORT", str(path))
+    assert active_reporter() is not None
+    run_spmd(small_topo(), ping)
+    records = load_report(str(path))
+    assert len(records) == 1
+    assert records[0]["kind"] == "run"
+
+
+def test_no_ambient_reporter_by_default():
+    assert active_reporter() is None
+    run_spmd(small_topo(), ping)  # must not fail or write anything
+
+
+def test_sweeper_emits_records():
+    buf = io.StringIO()
+    sweeper = Sweeper(scale="bench", reporter=RunReporter(buf))
+    sweeper.speedup_at("asp", "optimized",
+                       grids.FIGURE1_BANDWIDTH, grids.FIGURE1_LATENCY_MS,
+                       clusters=2, cluster_size=2)
+    lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+    # One record per simulated run: the grid point plus its baseline.
+    assert len(lines) == 2
+    assert all(r["meta"]["harness"] == "sweeper" for r in lines)
+    assert all(r["meta"]["app"] == "asp" for r in lines)

@@ -82,6 +82,33 @@ def test_run_max_events():
     assert fired == [0, 1, 2, 3]
 
 
+def test_run_until_with_max_events_stops_at_first_limit():
+    # Case 1: the event budget runs out before the horizon.
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.call_at(float(i), lambda i=i: fired.append(i))
+    eng.run(until=8.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert eng.now == 2.0
+    # Case 2: resume the same engine; now the horizon binds first.
+    eng.run(until=5.0, max_events=100)
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert eng.now == 5.0
+    assert eng.pending == 4
+
+
+def test_run_max_events_then_run_to_completion():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.call_at(float(i), lambda i=i: fired.append(i))
+    eng.run(max_events=2)
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert eng.events_processed == 5
+
+
 def test_step_returns_false_when_idle():
     eng = Engine()
     assert eng.step() is False

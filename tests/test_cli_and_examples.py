@@ -30,6 +30,26 @@ class TestCli:
         assert main(["clusters", "--apps", "water"]) == 0
         assert "8x4" in capsys.readouterr().out
 
+    def test_trace_command_writes_trace_and_report(self, capsys, tmp_path,
+                                                   monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "asp", "--clusters", "2",
+                     "--cluster-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline 0 .." in out
+        assert "inter-cluster traffic matrix" in out
+
+        trace = json.loads((tmp_path / "asp-optimized.trace.json").read_text())
+        assert trace["traceEvents"]
+        report_path = tmp_path / "asp-optimized.report.jsonl"
+        records = [json.loads(l) for l in report_path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["meta"]["app"] == "asp"
+        assert records[0]["meta"]["harness"] == "trace"
+        assert "metrics" in records[0]
+
 
 def run_example(name, argv=()):
     path = EXAMPLES / name

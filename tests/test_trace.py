@@ -115,6 +115,65 @@ def test_event_cap_drops_and_reports():
     assert "dropped" in render_timeline(tracer, topo, machine.runtime())
 
 
+def test_per_stream_drop_counters():
+    """Each stream has its own cap and counter: a flooded send stream
+    must not mask (or inflate) deliver/compute drop counts."""
+    tracer = Tracer(max_events=2)
+    topo = single_cluster(2)
+
+    def sender(ctx):
+        yield ctx.compute(1e-4)  # 1 compute event: under the cap
+        for i in range(6):
+            yield ctx.send(1, 64, ("t", i))
+
+    def receiver(ctx):
+        for i in range(6):
+            yield ctx.recv(("t", i))
+
+    machine, tracer = traced_run(topo, {0: sender, 1: receiver}, tracer)
+    assert len(tracer.sends) == 2 and tracer.dropped_sends == 4
+    assert len(tracer.delivers) == 2 and tracer.dropped_delivers == 4
+    assert tracer.dropped_computes == 0
+    assert tracer.dropped == 8
+    text = render_timeline(tracer, topo, machine.runtime())
+    assert "4 sends, 4 delivers, 0 computes" in text
+
+
+def test_latency_percentiles():
+    topo = single_cluster(2)
+
+    def sender(ctx):
+        for i in range(100):
+            yield ctx.send(1, 64 * (i + 1), ("t", i))
+
+    def receiver(ctx):
+        for i in range(100):
+            yield ctx.recv(("t", i))
+
+    machine, tracer = traced_run(topo, {0: sender, 1: receiver})
+    stats = tracer.latency_stats()
+    assert stats["min"] <= stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+    assert stats["p50"] > 0
+
+    empty = Tracer().latency_stats()
+    assert empty == {"min": 0.0, "mean": 0.0, "max": 0.0,
+                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_busy_intervals_by_rank_matches_per_rank_queries():
+    topo = single_cluster(3)
+
+    def worker(ctx):
+        yield ctx.compute(0.1 * (ctx.rank + 1))
+        yield ctx.compute(0.05)
+
+    machine, tracer = traced_run(topo, {r: worker for r in range(3)})
+    by_rank = tracer.busy_intervals_by_rank()
+    assert set(by_rank) == {0, 1, 2}
+    for rank in range(3):
+        assert by_rank[rank] == tracer.busy_intervals(rank)
+
+
 def test_tracing_does_not_change_timing():
     topo = das_topology(clusters=2, cluster_size=2)
 
