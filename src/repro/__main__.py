@@ -21,7 +21,9 @@ from .experiments import (
     table2,
     variability,
 )
+from .experiments import cache as cache_cli
 from .obs import cli as trace_cli
+from .whatif import cli as whatif_cli
 
 COMMANDS = {
     "table1": (table1.main, "Table 1: single-cluster speedups/traffic/runtime"),
@@ -37,6 +39,8 @@ COMMANDS = {
     "export": (export.main, "Export experiment data as CSV/JSON"),
     "algselect": (algselect.main, "Collective algorithm selection across the gap"),
     "trace": (trace_cli.main, "Run one app instrumented; write Perfetto trace + report"),
+    "whatif": (whatif_cli.main, "Record-once what-if analysis: predicted Figure-3 grid"),
+    "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
 }
 
 

@@ -4,10 +4,12 @@ Importing this package registers every variant with the registry in
 :mod:`repro.apps.base`; use :func:`repro.apps.run_app` to run one.
 """
 
-from .base import app_names, default_config, get_builder, register_app, run_app
+from .base import (app_names, default_config, get_builder, is_timing_dependent,
+                   register_app, run_app)
 
 # Importing the subpackages has the side effect of registering variants.
 from . import asp, awari, barnes, fft, tsp, water  # noqa: E402,F401
 
-__all__ = ["app_names", "default_config", "get_builder", "register_app", "run_app",
+__all__ = ["app_names", "default_config", "get_builder", "is_timing_dependent",
+           "register_app", "run_app",
            "asp", "awari", "barnes", "fft", "tsp", "water"]

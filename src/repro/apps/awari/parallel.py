@@ -363,5 +363,9 @@ def _default_config(scale: str) -> AwariConfig:
                        states_per_stage=ws.awari_states_per_stage)
 
 
-register_app("awari", "unoptimized", make_unoptimized, _default_config)
+# The stage exchange consumes update batches in arrival order and the
+# MARK-based quiescence detection races with the data, so a recorded
+# communication DAG is not parameter-stable (repro.whatif falls back).
+register_app("awari", "unoptimized", make_unoptimized, _default_config,
+             timing_dependent=True)
 register_app("awari", "optimized", make_optimized)

@@ -21,6 +21,7 @@ VARIANTS = ("unoptimized", "optimized")
 
 _REGISTRY: Dict[Tuple[str, str], AppBuilder] = {}
 _DEFAULT_CONFIGS: Dict[str, Callable[[str], Any]] = {}
+_TIMING_DEPENDENT: Dict[str, bool] = {}
 
 
 def register_app(
@@ -28,18 +29,32 @@ def register_app(
     variant: str,
     builder: AppBuilder,
     default_config: Optional[Callable[[str], Any]] = None,
+    timing_dependent: bool = False,
 ) -> None:
     """Register an application variant builder.
 
     ``default_config(scale_name)`` constructs the app's config at a named
     workload scale ("paper" / "bench"); registering it once per app is
     enough.
+
+    ``timing_dependent`` declares that the app's *control flow* depends on
+    message arrival timing (work stealing, arrival-order-driven protocols,
+    timers), so a communication DAG recorded at one grid point is not
+    valid at another — :mod:`repro.whatif` falls back to full simulation
+    for such apps.  Setting it on any variant marks the whole app.
     """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
     _REGISTRY[(name, variant)] = builder
     if default_config is not None:
         _DEFAULT_CONFIGS[name] = default_config
+    if timing_dependent:
+        _TIMING_DEPENDENT[name] = True
+
+
+def is_timing_dependent(name: str) -> bool:
+    """True when the app declared timing-dependent control flow."""
+    return _TIMING_DEPENDENT.get(name, False)
 
 
 def app_names() -> Tuple[str, ...]:

@@ -166,5 +166,9 @@ def _default_config(scale: str) -> TspConfig:
     return TspConfig(num_jobs=num_jobs)
 
 
-register_app("tsp", "unoptimized", make_unoptimized, _default_config)
+# Work stealing: victim choice, steal timing and the retry timer all
+# depend on message arrival order, so a recorded communication DAG is
+# not parameter-stable (repro.whatif falls back to full simulation).
+register_app("tsp", "unoptimized", make_unoptimized, _default_config,
+             timing_dependent=True)
 register_app("tsp", "optimized", make_optimized)

@@ -1,0 +1,158 @@
+"""Persistent on-disk cache of ground-truth simulation runtimes.
+
+Full simulations are the expensive half of every sweep — and they are
+pure functions of ``(app, variant, scale, ranks, seed, topology)``.  The
+:class:`SimCache` memoizes their runtimes as small JSON files under
+``results/cache/`` so repeated sweeps, what-if validations and CI runs
+never pay for the same grid point twice.  The topology component of the
+key is :meth:`repro.network.topology.Topology.fingerprint`, a stable
+hash of every timing-relevant parameter.
+
+Manage the cache from the command line::
+
+    python -m repro cache ls       # what is cached, per app/variant
+    python -m repro cache clear    # drop every entry
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..network.topology import Topology
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_ROOT = os.path.join("results", "cache")
+
+
+class SimCache:
+    """File-per-entry JSON cache of simulated runtimes.
+
+    One entry is one file, so concurrent writers (parallel sweeps) never
+    corrupt each other; writes go through a temp file + ``os.replace``
+    so readers never observe a partial entry.
+    """
+
+    def __init__(self, root: str = DEFAULT_ROOT) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, app: str, variant: str, scale: str, seed: int,
+            topology: Topology) -> str:
+        """Filename-safe cache key for one simulation."""
+        return (f"{app}-{variant}-{scale}-r{topology.num_ranks}"
+                f"-s{seed}-{topology.fingerprint()}")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    # ------------------------------------------------------------------
+    def get(self, app: str, variant: str, scale: str, seed: int,
+            topology: Topology) -> Optional[float]:
+        """Cached runtime for this simulation, or None."""
+        path = self._path(self.key(app, variant, scale, seed, topology))
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(entry["runtime"])
+
+    def put(self, app: str, variant: str, scale: str, seed: int,
+            topology: Topology, runtime: float) -> None:
+        """Store one simulated runtime (atomic, last writer wins)."""
+        key = self.key(app, variant, scale, seed, topology)
+        os.makedirs(self.root, exist_ok=True)
+        entry = {
+            "app": app,
+            "variant": variant,
+            "scale": scale,
+            "seed": seed,
+            "ranks": topology.num_ranks,
+            "fingerprint": topology.fingerprint(),
+            "topology": topology.describe(),
+            "runtime": runtime,
+        }
+        path = self._path(key)
+        tmp = path + f".tmp{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[dict]:
+        """All readable cache entries (unreadable files are skipped)."""
+        if not os.path.isdir(self.root):
+            return []
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.root, name)) as fh:
+                    out.append(json.load(fh))
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
+
+
+def main(argv: Optional[list] = None) -> None:
+    """``python -m repro cache {ls,clear}``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or clear the on-disk simulation result cache.")
+    parser.add_argument("action", choices=["ls", "clear"])
+    parser.add_argument("--root", default=DEFAULT_ROOT,
+                        help=f"cache directory (default: {DEFAULT_ROOT})")
+    args = parser.parse_args(argv)
+
+    cache = SimCache(args.root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached simulation(s) from {cache.root}")
+        return
+
+    entries = cache.entries()
+    if not entries:
+        print(f"cache {cache.root} is empty")
+        return
+    by_app: Dict[Tuple[str, str], List[dict]] = {}
+    for entry in entries:
+        by_app.setdefault((entry.get("app", "?"), entry.get("variant", "?")),
+                          []).append(entry)
+    print(f"{len(entries)} cached simulation(s) in {cache.root}:")
+    for (app, variant), group in sorted(by_app.items()):
+        print(f"  {app}/{variant}: {len(group)} point(s)")
+        for entry in group:
+            print(f"    scale={entry.get('scale')} seed={entry.get('seed')} "
+                  f"{entry.get('topology')} -> {entry.get('runtime'):.6f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,9 +49,16 @@ def main(argv: Optional[list] = None) -> None:
                         choices=[None, "unoptimized", "optimized"])
     parser.add_argument("--scale", default="bench", choices=["paper", "bench"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--predict", action="store_true",
+                        help="fill grids from a recorded communication DAG "
+                             "(validated; falls back to simulation per app)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulate ground-truth grid points in N "
+                             "parallel processes")
     args = parser.parse_args(argv)
 
-    sweeper = Sweeper(scale=args.scale, seed=args.seed)
+    sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict,
+                      workers=args.workers)
     for app in args.apps:
         variants = [args.variant] if args.variant else ["unoptimized", "optimized"]
         if app == "fft":
@@ -59,6 +66,8 @@ def main(argv: Optional[list] = None) -> None:
         for variant in variants:
             grid = sweeper.speedup_grid(app, variant)
             print(render_panel(grid))
+            if args.predict and grid.validation is not None:
+                print(f"[whatif] {grid.validation.summary()}")
             print()
 
 

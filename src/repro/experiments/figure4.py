@@ -57,9 +57,12 @@ def main(argv: Optional[list] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="bench", choices=["paper", "bench"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--predict", action="store_true",
+                        help="predict grid points from recorded communication "
+                             "DAGs where validated (see docs/whatif.md)")
     args = parser.parse_args(argv)
 
-    sweeper = Sweeper(scale=args.scale, seed=args.seed)
+    sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict)
     bw_labels = [f"{bw:g}" for bw in sorted(grids.BANDWIDTHS_MBYTE_S, reverse=True)]
     _print_panel(
         bandwidth_panel(sweeper), bw_labels,

@@ -4,18 +4,41 @@ Relative speedup follows the paper exactly: ``T_L / T_M * 100%`` where
 ``T_L`` is the run time on the all-Myrinet single cluster with the same
 number of processors and ``T_M`` the run time on the multi-cluster.
 Baseline runs are cached per (app, variant, scale, ranks, seed).
+
+Three orthogonal accelerators (all off by default):
+
+``predict=True``
+    Record the application's communication DAG once (see
+    :mod:`repro.whatif`), validate predictions against full simulations
+    at the grid corners, then fill the rest of the grid analytically —
+    orders of magnitude faster than simulating every point.  Apps whose
+    recordings are timing-sensitive (TSP's work stealing, Awari's
+    arrival-order MARK protocol) or whose validation error exceeds
+    ``tolerance_pp`` fall back to full simulation automatically.
+
+``workers=N``
+    Run ground-truth grid simulations in a
+    :class:`concurrent.futures.ProcessPoolExecutor` with ``N`` workers.
+    Results are merged in the serial iteration order, so the produced
+    grid is identical to a serial run.  (Per-run reporter records are
+    not emitted for pool-side runs.)
+
+``cache=SimCache(...)``
+    Memoize every ground-truth runtime on disk; see
+    :mod:`repro.experiments.cache`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..apps import default_config, run_app
 from ..network.topology import Topology
 from ..obs.report import RunReporter, run_record
 from ..runtime.run import RunResult
 from . import grids
+from .cache import SimCache
 
 
 @dataclass
@@ -34,12 +57,43 @@ class SpeedupGrid:
     variant: str
     baseline_runtime: float
     points: Dict[Tuple[float, float], GridPoint] = field(default_factory=dict)
+    #: True when the points were produced by the what-if evaluator
+    #: rather than full simulation.
+    predicted: bool = False
+    #: the :class:`repro.whatif.validate.ValidationReport` backing a
+    #: predicted grid (or explaining why prediction fell back), if any.
+    validation: Optional[object] = None
 
     def series(self, latency_ms: float) -> List[GridPoint]:
         """One Figure-3 curve: points of a latency series, by bandwidth."""
-        return [self.points[(bw, latency_ms)]
-                for bw in sorted({bw for bw, lat in self.points
-                                  if lat == latency_ms})]
+        if not self.points:
+            raise KeyError(
+                f"speedup grid for {self.app}/{self.variant} has no points "
+                f"yet — populate it with Sweeper.speedup_grid() before "
+                f"calling series()")
+        bws = sorted({bw for bw, lat in self.points if lat == latency_ms})
+        if not bws:
+            available = ", ".join(
+                f"{lat:g}" for lat in sorted({lat for _, lat in self.points}))
+            raise KeyError(
+                f"speedup grid for {self.app}/{self.variant} has no "
+                f"latency={latency_ms:g} ms series; available latencies: "
+                f"{available} ms")
+        return [self.points[(bw, latency_ms)] for bw in bws]
+
+
+def _simulate_point(payload: tuple) -> Tuple[float, float, float]:
+    """Worker-process task: one ground-truth grid simulation.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; returns
+    ``(bandwidth, latency_ms, runtime)``.
+    """
+    (app, variant, scale, seed, bw, lat, clusters, cluster_size,
+     wan_shape) = payload
+    topo = grids.multi_cluster(bw, lat, clusters, cluster_size, wan_shape)
+    config = default_config(app, scale)
+    result = run_app(app, variant, topo, config=config, seed=seed)
+    return (bw, lat, result.runtime)
 
 
 class Sweeper:
@@ -52,11 +106,22 @@ class Sweeper:
     """
 
     def __init__(self, scale: str = "bench", seed: int = 0,
-                 reporter: Optional[RunReporter] = None) -> None:
+                 reporter: Optional[RunReporter] = None,
+                 predict: bool = False,
+                 workers: Optional[int] = None,
+                 cache: Optional[SimCache] = None,
+                 tolerance_pp: float = 5.0) -> None:
         self.scale = scale
         self.seed = seed
         self.reporter = reporter
+        self.predict = predict
+        self.workers = workers
+        self.cache = cache
+        self.tolerance_pp = tolerance_pp
         self._baseline_cache: Dict[Tuple[str, str, int], float] = {}
+        #: (app, variant, clusters, cluster_size, wan_shape) ->
+        #: (predictor-or-None, ValidationReport-or-None)
+        self._predictors: Dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     def run_on(self, app: str, variant: str, topo: Topology) -> RunResult:
@@ -69,39 +134,171 @@ class Sweeper:
                       "harness": "sweeper"}))
         return result
 
+    def _sim_runtime(self, app: str, variant: str, topo: Topology) -> float:
+        """Ground-truth runtime for one point, via the on-disk cache."""
+        if self.cache is not None:
+            hit = self.cache.get(app, variant, self.scale, self.seed, topo)
+            if hit is not None:
+                return hit
+        runtime = self.run_on(app, variant, topo).runtime
+        if self.cache is not None:
+            self.cache.put(app, variant, self.scale, self.seed, topo, runtime)
+        return runtime
+
     def baseline_runtime(self, app: str, variant: str,
                          num_ranks: int = grids.NUM_RANKS) -> float:
         key = (app, variant, num_ranks)
         if key not in self._baseline_cache:
-            result = self.run_on(app, variant, grids.baseline(num_ranks))
-            self._baseline_cache[key] = result.runtime
+            self._baseline_cache[key] = self._sim_runtime(
+                app, variant, grids.baseline(num_ranks))
         return self._baseline_cache[key]
+
+    # ------------------------------------------------------------------
+    # What-if prediction machinery
+    # ------------------------------------------------------------------
+    def _predictor(self, app: str, variant: str,
+                   clusters: int = grids.NUM_CLUSTERS,
+                   cluster_size: int = grids.CLUSTER_SIZE,
+                   wan_shape: str = "full"):
+        """Record-once predictor for (app, variant), or None on fallback.
+
+        Returns ``(predict_fn, report)``: ``predict_fn(bw, lat) ->
+        runtime`` backed by a validated :class:`~repro.whatif.evaluate.
+        Evaluator`, or ``None`` when the app must be fully simulated
+        (timing-sensitive recording or validation error above
+        ``tolerance_pp``).  The decision is memoized per shape.
+        """
+        from ..whatif.evaluate import Evaluator
+        from ..whatif.record import record_app
+        from ..whatif.validate import corner_points, validate
+
+        memo_key = (app, variant, clusters, cluster_size, wan_shape)
+        if memo_key in self._predictors:
+            return self._predictors[memo_key]
+
+        def topology_for(bw: float, lat: float) -> Topology:
+            return grids.multi_cluster(bw, lat, clusters, cluster_size,
+                                       wan_shape)
+
+        recording = record_app(app, variant, scale=self.scale, seed=self.seed)
+        if recording.timing_sensitive:
+            report = validate(recording, 1.0, lambda bw, lat: 1.0, [],
+                              tolerance_pp=self.tolerance_pp)
+            self._predictors[memo_key] = (None, report)
+            return self._predictors[memo_key]
+
+        evaluator = Evaluator(recording.dag)
+        baseline = self.baseline_runtime(app, variant,
+                                         clusters * cluster_size)
+        report = validate(
+            recording,
+            baseline_runtime=baseline,
+            simulate=lambda bw, lat: self._sim_runtime(
+                app, variant, topology_for(bw, lat)),
+            points=corner_points(grids.BANDWIDTHS_MBYTE_S, grids.LATENCIES_MS),
+            tolerance_pp=self.tolerance_pp,
+            evaluator=evaluator,
+            topology_for=topology_for,
+        )
+        if report.fallback:
+            self._predictors[memo_key] = (None, report)
+        else:
+            self._predictors[memo_key] = (
+                lambda bw, lat: evaluator.evaluate(topology_for(bw, lat)),
+                report)
+        return self._predictors[memo_key]
 
     # ------------------------------------------------------------------
     def speedup_at(self, app: str, variant: str, bandwidth: float,
                    latency_ms: float, clusters: int = grids.NUM_CLUSTERS,
                    cluster_size: int = grids.CLUSTER_SIZE,
                    wan_shape: str = "full") -> GridPoint:
-        topo = grids.multi_cluster(bandwidth, latency_ms, clusters,
-                                   cluster_size, wan_shape)
-        result = self.run_on(app, variant, topo)
         base = self.baseline_runtime(app, variant, clusters * cluster_size)
+        runtime = None
+        if self.predict:
+            predict_fn, _report = self._predictor(app, variant, clusters,
+                                                  cluster_size, wan_shape)
+            if predict_fn is not None:
+                runtime = predict_fn(bandwidth, latency_ms)
+        if runtime is None:
+            topo = grids.multi_cluster(bandwidth, latency_ms, clusters,
+                                       cluster_size, wan_shape)
+            runtime = self._sim_runtime(app, variant, topo)
         return GridPoint(
             bandwidth_mbyte_s=bandwidth,
             latency_ms=latency_ms,
-            runtime=result.runtime,
-            relative_speedup_pct=100.0 * base / result.runtime,
+            runtime=runtime,
+            relative_speedup_pct=100.0 * base / runtime,
         )
+
+    def _simulate_grid(self, app: str, variant: str,
+                       points: Sequence[Tuple[float, float]]
+                       ) -> Dict[Tuple[float, float], float]:
+        """Ground-truth runtimes for ``points``, serial or pooled.
+
+        The parallel path checks the on-disk cache up front, fans the
+        misses out to a process pool, and merges in the serial iteration
+        order — the resulting dict is identical to a serial sweep's.
+        """
+        runtimes: Dict[Tuple[float, float], Optional[float]] = {}
+        if self.workers and self.workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            misses: List[Tuple[float, float]] = []
+            for bw, lat in points:
+                hit = None
+                if self.cache is not None:
+                    hit = self.cache.get(app, variant, self.scale, self.seed,
+                                         grids.multi_cluster(bw, lat))
+                runtimes[(bw, lat)] = hit
+                if hit is None:
+                    misses.append((bw, lat))
+            if misses:
+                payloads = [(app, variant, self.scale, self.seed, bw, lat,
+                             grids.NUM_CLUSTERS, grids.CLUSTER_SIZE, "full")
+                            for bw, lat in misses]
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    for bw, lat, runtime in pool.map(_simulate_point, payloads):
+                        runtimes[(bw, lat)] = runtime
+                        if self.cache is not None:
+                            self.cache.put(app, variant, self.scale, self.seed,
+                                           grids.multi_cluster(bw, lat),
+                                           runtime)
+        else:
+            for bw, lat in points:
+                runtimes[(bw, lat)] = self._sim_runtime(
+                    app, variant, grids.multi_cluster(bw, lat))
+        return runtimes
 
     def speedup_grid(self, app: str, variant: str,
                      bandwidths=grids.BANDWIDTHS_MBYTE_S,
                      latencies=grids.LATENCIES_MS) -> SpeedupGrid:
         """The full Figure-3 panel for one application variant."""
-        grid = SpeedupGrid(app=app, variant=variant,
-                           baseline_runtime=self.baseline_runtime(app, variant))
-        for lat in latencies:
-            for bw in bandwidths:
-                grid.points[(bw, lat)] = self.speedup_at(app, variant, bw, lat)
+        base = self.baseline_runtime(app, variant)
+        grid = SpeedupGrid(app=app, variant=variant, baseline_runtime=base)
+
+        if self.predict:
+            predict_fn, report = self._predictor(app, variant)
+            grid.validation = report
+            if predict_fn is not None:
+                grid.predicted = True
+                for lat in latencies:
+                    for bw in bandwidths:
+                        runtime = predict_fn(bw, lat)
+                        grid.points[(bw, lat)] = GridPoint(
+                            bandwidth_mbyte_s=bw, latency_ms=lat,
+                            runtime=runtime,
+                            relative_speedup_pct=100.0 * base / runtime)
+                return grid
+            # fall through: ground truth for timing-dependent apps
+
+        ordered = [(bw, lat) for lat in latencies for bw in bandwidths]
+        runtimes = self._simulate_grid(app, variant, ordered)
+        for bw, lat in ordered:
+            runtime = runtimes[(bw, lat)]
+            grid.points[(bw, lat)] = GridPoint(
+                bandwidth_mbyte_s=bw, latency_ms=lat, runtime=runtime,
+                relative_speedup_pct=100.0 * base / runtime)
         return grid
 
     # ------------------------------------------------------------------

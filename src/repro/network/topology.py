@@ -166,6 +166,32 @@ class Topology:
         """The NUMA gap in latency (slow / fast)."""
         return self.wide.latency / self.local.latency
 
+    def fingerprint(self) -> str:
+        """Stable short hash of every parameter that affects timing.
+
+        Two topologies with the same fingerprint produce identical
+        simulations for the same (app, config, seed) — the key the
+        on-disk result cache and the what-if validator rely on.
+        """
+        import hashlib
+
+        def spec_key(spec: LinkSpec) -> str:
+            return (f"{spec.latency!r}/{spec.bandwidth!r}/"
+                    f"{spec.send_overhead!r}/{spec.recv_overhead!r}")
+
+        var = self.wan_variability
+        var_key = "none" if var is None or not var.enabled else repr(var)
+        canon = "|".join([
+            ",".join(str(s) for s in self.cluster_sizes),
+            spec_key(self.local),
+            spec_key(self.wide),
+            repr(self.gateway_overhead),
+            self.wan_shape,
+            str(self.wan_hub),
+            var_key,
+        ])
+        return hashlib.sha1(canon.encode()).hexdigest()[:16]
+
     def describe(self) -> str:
         shape = "x".join(str(s) for s in self.cluster_sizes)
         return (

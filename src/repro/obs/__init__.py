@@ -30,7 +30,7 @@ Typical instrumented run::
 
 from .bus import TOPICS, ProbeBus
 from .events import (BlockEvent, ComputeEvent, DeliverEvent, GatewayEvent,
-                     PhaseEvent, QueueEvent, SendEvent, UnblockEvent)
+                     OpEvent, PhaseEvent, QueueEvent, SendEvent, UnblockEvent)
 from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
                       MetricsRegistry, TimeSeries)
 from .perfetto import PerfettoTrace
@@ -48,6 +48,7 @@ __all__ = [
     "BlockEvent",
     "UnblockEvent",
     "PhaseEvent",
+    "OpEvent",
     "Counter",
     "Gauge",
     "Histogram",

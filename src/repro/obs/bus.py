@@ -40,6 +40,7 @@ TOPICS: Tuple[str, ...] = (
     "block",          # BlockEvent — process blocked on a receive
     "unblock",        # UnblockEvent — blocked receive completed
     "phase",          # PhaseEvent — collective/application phase boundary
+    "op",             # OpEvent — per-process program-order operation
     "traffic_intra",  # (size) — intra-cluster traffic counter
     "traffic_inter",  # (src_cluster, dst_cluster, size) — WAN traffic counter
 )

@@ -109,6 +109,41 @@ class PhaseEvent:
     kind: str
 
 
+@dataclass(frozen=True)
+class OpEvent:
+    """One application-level operation, in per-process program order.
+
+    Published on the ``op`` topic by the :class:`~repro.runtime.context`
+    syscalls — the stream :class:`repro.whatif.record.Recorder` turns into
+    a replayable communication DAG.  Unlike the transport-level topics
+    (``send``/``deliver``/``queue``), ``op`` events carry the *logical*
+    structure of the computation: which process did what, in what order,
+    independent of when the network let it happen.
+
+    ``kind`` is one of:
+
+    - ``"compute"`` — ``duration`` seconds of CPU work on ``rank``;
+    - ``"send"`` — point-to-point send (``dst``, ``size``, ``tag``);
+    - ``"multicast"`` — intra-cluster multicast (``dst`` is a tuple);
+    - ``"recv"`` — a blocking receive was *issued* (``tag``);
+    - ``"recv_done"`` — that receive matched a message (``src``, ``size``);
+    - ``"poll"`` — a non-blocking receive (``detail`` is the hit flag);
+    - ``"spawn"`` — a service process was started (``detail`` is its name).
+    """
+
+    time: float
+    proc: str
+    rank: int
+    daemon: bool
+    kind: str
+    dst: Any = None
+    src: int = -1
+    size: int = 0
+    tag: Any = None
+    duration: float = 0.0
+    detail: Any = None
+
+
 __all__ = [
     "SendEvent",
     "DeliverEvent",
@@ -118,4 +153,5 @@ __all__ = [
     "BlockEvent",
     "UnblockEvent",
     "PhaseEvent",
+    "OpEvent",
 ]

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..network.message import Message
-from ..obs.events import BlockEvent, ComputeEvent, PhaseEvent, UnblockEvent
+from ..obs.events import (BlockEvent, ComputeEvent, OpEvent, PhaseEvent,
+                          UnblockEvent)
 from ..sim.process import Process, Syscall
 from ..sim.rng import make_rng
 from .machine import Machine
@@ -52,6 +53,9 @@ class _Compute(Syscall):
         bus = machine.bus
         if bus.want_compute and self.duration > 0:
             bus.emit("compute", ComputeEvent(end - self.duration, end, ctx.rank))
+        if bus.want_op:
+            bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank, proc.daemon,
+                                   "compute", duration=self.duration))
         machine.engine.call_at(end, lambda: proc._step(None, None))
 
 
@@ -76,6 +80,10 @@ class _Send(Syscall):
         # not stall the message pipeline of its neighbours on the rank.
         overhead_end = machine.now + spec.send_overhead
         machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
+        if machine.bus.want_op:
+            machine.bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
+                                           proc.daemon, "send", dst=self.dst,
+                                           size=self.size, tag=self.tag))
         msg = Message(src=ctx.rank, dst=self.dst, tag=self.tag,
                       size=self.size, payload=self.payload)
         machine.transmit(msg, overhead_end)
@@ -100,6 +108,11 @@ class _Multicast(Syscall):
         spec = machine.topology.local
         overhead_end = machine.now + spec.send_overhead
         machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
+        if machine.bus.want_op:
+            machine.bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
+                                           proc.daemon, "multicast",
+                                           dst=tuple(self.dsts), size=self.size,
+                                           tag=self.tag))
         machine.transmit_multicast(ctx.rank, self.dsts, self.size, self.tag,
                                    self.payload, overhead_end)
         machine.engine.call_at(overhead_end, lambda: proc._step(None, None))
@@ -119,6 +132,9 @@ class _Recv(Syscall):
         bus = machine.bus
         if bus.want_block:
             bus.emit("block", BlockEvent(wait_start, ctx.rank, self.tag))
+        if bus.want_op:
+            bus.emit("op", OpEvent(wait_start, proc.name, ctx.rank, proc.daemon,
+                                   "recv", tag=self.tag))
 
         def on_message(msg: Message) -> None:
             stats = machine.rank_stats[ctx.rank]
@@ -129,6 +145,10 @@ class _Recv(Syscall):
             if bus.want_unblock:
                 bus.emit("unblock", UnblockEvent(machine.now, ctx.rank, self.tag,
                                                  machine.now - wait_start))
+            if bus.want_op:
+                bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
+                                       proc.daemon, "recv_done", src=msg.src,
+                                       size=msg.size, tag=self.tag))
             topo = machine.topology
             spec = topo.wide if msg.inter_cluster else topo.local
             # Like the send overhead, this is a sequential delay for the
@@ -154,6 +174,11 @@ class _RecvNowait(Syscall):
         msg = machine.endpoints[ctx.rank].box(self.tag).try_get()
         if msg is not None:
             machine.rank_stats[ctx.rank].messages_received += 1
+        if machine.bus.want_op:
+            machine.bus.emit("op", OpEvent(
+                machine.now, proc.name, ctx.rank, proc.daemon, "poll",
+                src=msg.src if msg is not None else -1, tag=self.tag,
+                detail=msg is not None))
         proc.resume(msg)
 
 
@@ -305,6 +330,10 @@ class Context:
         self, body_factory: Callable[["Context"], Generator], name: str = "svc"
     ) -> Process:
         """Start a daemon process on this same rank (shares this rank's CPU)."""
-        return self.machine.spawn(
-            self.rank, body_factory, name=f"rank{self.rank}.{name}", daemon=True
-        )
+        child_name = f"rank{self.rank}.{name}"
+        machine = self.machine
+        if machine.bus.want_op and self.process is not None:
+            machine.bus.emit("op", OpEvent(
+                machine.now, self.process.name, self.rank, self.process.daemon,
+                "spawn", detail=child_name))
+        return machine.spawn(self.rank, body_factory, name=child_name, daemon=True)

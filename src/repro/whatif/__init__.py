@@ -1,0 +1,47 @@
+"""What-if analysis: record a communication DAG once, evaluate anywhere.
+
+The expensive way to answer "how does this application respond to WAN
+bandwidth and latency?" is to re-simulate it at every grid point.  This
+package implements the cheap way, in the spirit of LLAMP's LogGPS-based
+network sensitivity analysis: run the app *once* under instrumentation
+(:mod:`.record`), capture its link-parameter-independent communication
+DAG, then replay that DAG analytically under any
+:class:`~repro.network.linkspec.LinkSpec` parameterization
+(:mod:`.evaluate`) — orders of magnitude faster than full simulation.
+Predictions are cross-checked against ground truth at sampled grid
+points (:mod:`.validate`); apps whose control flow depends on message
+timing fall back to full simulation automatically.
+"""
+
+from .evaluate import EvaluationError, Evaluator
+from .record import (
+    REFERENCE_POINT,
+    CommDag,
+    ProcRecord,
+    Recorder,
+    Recording,
+    record_app,
+)
+from .validate import (
+    DEFAULT_TOLERANCE_PP,
+    ValidationPoint,
+    ValidationReport,
+    corner_points,
+    validate,
+)
+
+__all__ = [
+    "CommDag",
+    "DEFAULT_TOLERANCE_PP",
+    "EvaluationError",
+    "Evaluator",
+    "ProcRecord",
+    "REFERENCE_POINT",
+    "Recorder",
+    "Recording",
+    "ValidationPoint",
+    "ValidationReport",
+    "corner_points",
+    "record_app",
+    "validate",
+]

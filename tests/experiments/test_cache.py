@@ -1,0 +1,78 @@
+"""Tests for the persistent on-disk simulation result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import grids
+from repro.experiments.cache import SimCache, main as cache_main
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SimCache(str(tmp_path / "cache"))
+
+
+def test_miss_then_hit(cache):
+    topo = grids.multi_cluster(0.95, 3.3)
+    assert cache.get("asp", "optimized", "bench", 0, topo) is None
+    assert cache.misses == 1
+    cache.put("asp", "optimized", "bench", 0, topo, 1.25)
+    assert cache.get("asp", "optimized", "bench", 0, topo) == 1.25
+    assert cache.hits == 1
+    assert len(cache) == 1
+
+
+def test_key_distinguishes_every_parameter(cache):
+    t1 = grids.multi_cluster(0.95, 3.3)
+    t2 = grids.multi_cluster(0.95, 30.0)
+    base = cache.key("asp", "optimized", "bench", 0, t1)
+    assert cache.key("asp", "optimized", "bench", 0, t2) != base
+    assert cache.key("asp", "unoptimized", "bench", 0, t1) != base
+    assert cache.key("water", "optimized", "bench", 0, t1) != base
+    assert cache.key("asp", "optimized", "paper", 0, t1) != base
+    assert cache.key("asp", "optimized", "bench", 7, t1) != base
+
+
+def test_entries_and_clear(cache):
+    topo = grids.multi_cluster(0.95, 3.3)
+    cache.put("asp", "optimized", "bench", 0, topo, 1.0)
+    cache.put("water", "optimized", "bench", 0, topo, 2.0)
+    entries = cache.entries()
+    assert {e["app"] for e in entries} == {"asp", "water"}
+    assert all("fingerprint" in e for e in entries)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    topo = grids.multi_cluster(0.95, 3.3)
+    cache.put("asp", "optimized", "bench", 0, topo, 1.0)
+    path = cache._path(cache.key("asp", "optimized", "bench", 0, topo))
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    assert cache.get("asp", "optimized", "bench", 0, topo) is None
+
+
+def test_put_is_atomic(cache):
+    topo = grids.multi_cluster(0.95, 3.3)
+    cache.put("asp", "optimized", "bench", 0, topo, 1.0)
+    leftovers = [n for n in os.listdir(cache.root) if ".tmp" in n]
+    assert leftovers == []
+    path = cache._path(cache.key("asp", "optimized", "bench", 0, topo))
+    with open(path) as fh:
+        assert json.load(fh)["runtime"] == 1.0
+
+
+def test_cli_ls_and_clear(cache, capsys):
+    cache_main(["ls", "--root", cache.root])
+    assert "empty" in capsys.readouterr().out
+    cache.put("asp", "optimized", "bench", 0, grids.multi_cluster(0.95, 3.3),
+              1.5)
+    cache_main(["ls", "--root", cache.root])
+    out = capsys.readouterr().out
+    assert "asp/optimized" in out and "1 point" in out
+    cache_main(["clear", "--root", cache.root])
+    assert "removed 1" in capsys.readouterr().out
+    assert len(cache) == 0

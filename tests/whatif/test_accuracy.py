@@ -1,0 +1,68 @@
+"""Acceptance accuracy tests: predictions vs ground truth at grid corners.
+
+Every deterministic app/variant must predict relative speedup within the
+documented tolerance (docs/whatif.md) at the four corners of the paper's
+bandwidth x latency grid; the timing-dependent apps must trigger the
+automatic full-simulation fallback instead of producing predictions.
+"""
+
+import pytest
+
+from repro.apps import default_config, run_app
+from repro.experiments import grids
+from repro.whatif import (
+    DEFAULT_TOLERANCE_PP,
+    Evaluator,
+    corner_points,
+    record_app,
+    validate,
+)
+
+DETERMINISTIC = [
+    ("water", "unoptimized"),
+    ("water", "optimized"),
+    ("barnes", "unoptimized"),
+    ("barnes", "optimized"),
+    ("asp", "unoptimized"),
+    ("asp", "optimized"),
+    ("fft", "unoptimized"),
+]
+
+TIMING_DEPENDENT = [
+    ("tsp", "unoptimized"),
+    ("tsp", "optimized"),
+    ("awari", "unoptimized"),
+    ("awari", "optimized"),
+]
+
+
+@pytest.mark.parametrize("app,variant", DETERMINISTIC)
+def test_corner_accuracy_within_tolerance(app, variant):
+    recording = record_app(app, variant)
+    assert not recording.timing_sensitive
+
+    config = default_config(app, "bench")
+    baseline = run_app(app, variant, grids.baseline(), config=config,
+                       seed=0).runtime
+
+    def simulate(bw, lat):
+        return run_app(app, variant, grids.multi_cluster(bw, lat),
+                       config=config, seed=0).runtime
+
+    corners = corner_points(grids.BANDWIDTHS_MBYTE_S, grids.LATENCIES_MS)
+    assert len(corners) == 4
+    report = validate(recording, baseline, simulate, corners,
+                      tolerance_pp=DEFAULT_TOLERANCE_PP)
+    assert not report.fallback, report.reason
+    assert len(report.points) == 4
+    assert report.max_error_pp <= DEFAULT_TOLERANCE_PP
+
+
+@pytest.mark.parametrize("app,variant", TIMING_DEPENDENT)
+def test_timing_dependent_apps_fall_back(app, variant):
+    recording = record_app(app, variant)
+    assert recording.timing_sensitive
+    with pytest.raises(Exception):
+        Evaluator(recording.dag)
+    report = validate(recording, 1.0, lambda bw, lat: 1.0, [])
+    assert report.fallback

@@ -1,0 +1,73 @@
+"""Tests for the analytic DAG evaluator."""
+
+import pytest
+
+from repro.experiments import grids
+from repro.whatif import EvaluationError, Evaluator, REFERENCE_POINT, record_app
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return record_app("asp", "optimized")
+
+
+@pytest.fixture(scope="module")
+def evaluator(recording):
+    return Evaluator(recording.dag)
+
+
+def test_exact_at_the_recorded_point(recording, evaluator):
+    """Replaying the DAG under the recording's own parameters must
+    reproduce the recorded runtime almost exactly."""
+    predicted = evaluator.evaluate(recording.topology)
+    assert predicted == pytest.approx(recording.runtime, rel=5e-3)
+
+
+def test_monotone_in_latency(evaluator):
+    runtimes = [evaluator.evaluate(grids.multi_cluster(0.95, lat))
+                for lat in (0.5, 10.0, 300.0)]
+    assert runtimes[0] < runtimes[1] < runtimes[2]
+
+
+def test_monotone_in_bandwidth(evaluator):
+    runtimes = [evaluator.evaluate(grids.multi_cluster(bw, 3.3))
+                for bw in (6.3, 0.3, 0.03)]
+    assert runtimes[0] < runtimes[1] < runtimes[2]
+
+
+def test_evaluation_is_deterministic(evaluator):
+    topo = grids.multi_cluster(0.1, 30.0)
+    assert evaluator.evaluate(topo) == evaluator.evaluate(topo)
+
+
+def test_rejects_timing_sensitive_dag():
+    rec = record_app("tsp", "unoptimized")
+    with pytest.raises(EvaluationError):
+        Evaluator(rec.dag)
+
+
+def test_rejects_mismatched_cluster_shape(evaluator):
+    other = grids.multi_cluster(*REFERENCE_POINT, clusters=8, cluster_size=4)
+    with pytest.raises(EvaluationError):
+        evaluator.evaluate(other)
+
+
+def test_rejects_wan_variability(evaluator):
+    import dataclasses
+
+    from repro.network.variability import Variability
+
+    jittered = dataclasses.replace(
+        grids.multi_cluster(*REFERENCE_POINT),
+        wan_variability=Variability(latency_cv=0.2))
+    with pytest.raises(EvaluationError, match="variability"):
+        evaluator.evaluate(jittered)
+
+
+def test_evaluation_is_fast(evaluator):
+    import time
+    topo = grids.multi_cluster(0.95, 3.3)
+    evaluator.evaluate(topo)  # warm
+    start = time.perf_counter()
+    evaluator.evaluate(topo)
+    assert time.perf_counter() - start < 1.0

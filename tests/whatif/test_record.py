@@ -1,0 +1,85 @@
+"""Tests for the communication-DAG recorder."""
+
+import pytest
+
+from repro.experiments import grids
+from repro.whatif import REFERENCE_POINT, record_app
+from repro.whatif.record import (
+    OP_COMPUTE,
+    OP_MCAST,
+    OP_RECV,
+    OP_SEND,
+    OP_SPAWN,
+)
+
+
+def test_reference_point_is_mid_grid():
+    bw, lat = REFERENCE_POINT
+    assert bw in grids.BANDWIDTHS_MBYTE_S
+    assert lat in grids.LATENCIES_MS
+
+
+class TestRecordAsp:
+    @pytest.fixture(scope="class")
+    def recording(self):
+        return record_app("asp", "optimized")
+
+    def test_ground_truth_matches_plain_run(self, recording):
+        from repro.apps import default_config, run_app
+        plain = run_app("asp", "optimized",
+                        grids.multi_cluster(*REFERENCE_POINT),
+                        config=default_config("asp", "bench"), seed=0)
+        assert recording.runtime == pytest.approx(plain.runtime)
+
+    def test_every_rank_has_a_root_proc(self, recording):
+        roots = [p for p in recording.dag.procs if p.spawned_by is None]
+        assert sorted({p.rank for p in roots}) == list(range(32))
+
+    def test_ops_are_recorded(self, recording):
+        dag = recording.dag
+        kinds = {op[0] for p in dag.procs for op in p.ops}
+        assert OP_COMPUTE in kinds and OP_SEND in kinds and OP_RECV in kinds
+        assert dag.num_ops > 0
+        assert dag.num_messages > 0
+
+    def test_recvs_are_pinned_to_channel_messages(self, recording):
+        dag = recording.dag
+        # Each (channel, k) pair is consumed by exactly one receive, and
+        # every consumed index is below that channel's send count.
+        sends = {}
+        for p in dag.procs:
+            for op in p.ops:
+                if op[0] == OP_SEND:
+                    sends[op[1]] = sends.get(op[1], 0) + 1
+                elif op[0] == OP_MCAST:
+                    for cid in op[1]:
+                        sends[cid] = sends.get(cid, 0) + 1
+        seen = set()
+        for p in dag.procs:
+            for op in p.ops:
+                if op[0] == OP_RECV:
+                    cid, k = op[1], op[2]
+                    assert (cid, k) not in seen
+                    seen.add((cid, k))
+                    assert k < sends.get(cid, 0)
+
+    def test_channels_are_link_parameter_free(self, recording):
+        for src, dst, _tag in recording.dag.channels:
+            assert 0 <= src < 32 and 0 <= dst < 32
+
+    def test_spawns_resolve_to_proc_indices(self, recording):
+        dag = recording.dag
+        for p in dag.procs:
+            for op in p.ops:
+                if op[0] == OP_SPAWN and op[1] >= 0:
+                    assert dag.procs[op[1]].spawned_by is not None
+
+    def test_deterministic_app_not_flagged(self, recording):
+        assert not recording.timing_sensitive
+
+
+@pytest.mark.parametrize("app", ["tsp", "awari"])
+def test_timing_dependent_apps_are_flagged(app):
+    recording = record_app(app, "unoptimized")
+    assert recording.timing_sensitive
+    assert any("timing-dependent" in r for r in recording.sensitive_reasons)

@@ -1,0 +1,72 @@
+"""Tests for the prediction validator and its fallback policy."""
+
+import pytest
+
+from repro.experiments import grids
+from repro.whatif import corner_points, record_app, validate
+from repro.whatif.validate import ValidationPoint, ValidationReport
+
+
+def test_corner_points_are_the_four_extremes():
+    pts = corner_points(grids.BANDWIDTHS_MBYTE_S, grids.LATENCIES_MS)
+    assert set(pts) == {(6.3, 0.5), (6.3, 300.0), (0.03, 0.5), (0.03, 300.0)}
+    assert len(pts) == 4
+
+
+def test_corner_points_dedupes_degenerate_grids():
+    assert corner_points([1.0], [5.0]) == [(1.0, 5.0)]
+    assert len(corner_points([1.0, 2.0], [5.0])) == 2
+
+
+def test_error_pp_is_absolute():
+    p = ValidationPoint(1.0, 1.0, 2.0, 2.5, 50.0, 40.0)
+    assert p.error_pp == pytest.approx(10.0)
+
+
+def test_report_summary_mentions_fallback_reason():
+    r = ValidationReport(app="x", variant="y", tolerance_pp=5.0,
+                         fallback=True, reason="because")
+    assert "FALLBACK" in r.summary() and "because" in r.summary()
+
+
+def test_timing_sensitive_recording_falls_back_without_simulating():
+    rec = record_app("awari", "unoptimized")
+    calls = []
+
+    def simulate(bw, lat):  # pragma: no cover - must not run
+        calls.append((bw, lat))
+        return 1.0
+
+    report = validate(rec, 1.0, simulate, [(6.3, 0.5)])
+    assert report.fallback
+    assert "timing-sensitive" in report.reason
+    assert calls == []
+
+
+def test_excess_error_triggers_fallback():
+    rec = record_app("asp", "optimized")
+    # Lie about ground truth: simulation "says" 10x the prediction, so
+    # the speedup error is enormous and the validator must bail.
+    from repro.whatif import Evaluator
+    ev = Evaluator(rec.dag)
+
+    def wrong_simulate(bw, lat):
+        return 10.0 * ev.evaluate(grids.multi_cluster(bw, lat))
+
+    report = validate(rec, rec.runtime, wrong_simulate, [(0.95, 3.3)],
+                      tolerance_pp=5.0)
+    assert report.fallback
+    assert "exceeds tolerance" in report.reason
+
+
+def test_honest_validation_passes():
+    from repro.apps import default_config, run_app
+    rec = record_app("asp", "optimized")
+
+    def simulate(bw, lat):
+        return run_app("asp", "optimized", grids.multi_cluster(bw, lat),
+                       config=default_config("asp", "bench"), seed=0).runtime
+
+    report = validate(rec, rec.runtime, simulate, [(0.95, 3.3)])
+    assert not report.fallback
+    assert report.max_error_pp < 5.0
