@@ -10,6 +10,7 @@ import sys
 from .experiments import (
     ablations,
     algselect,
+    bench,
     breakdown,
     clusters,
     export,
@@ -41,6 +42,7 @@ COMMANDS = {
     "trace": (trace_cli.main, "Run one app instrumented; write Perfetto trace + report"),
     "whatif": (whatif_cli.main, "Record-once what-if analysis: predicted Figure-3 grid"),
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
+    "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),
 }
 
 
@@ -57,8 +59,8 @@ def main(argv=None) -> int:
         print(f"unknown experiment {name!r}; run `python -m repro --help`",
               file=sys.stderr)
         return 2
-    COMMANDS[name][0](rest)
-    return 0
+    rc = COMMANDS[name][0](rest)
+    return int(rc) if rc else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,174 @@
+"""Simulator performance trajectory: ``python -m repro bench``.
+
+Runs ``benchmarks/test_simulator_perf.py`` under pytest-benchmark and
+records the headline throughput numbers in ``BENCH_simperf.json`` at the
+repository root — engine events/s, process switches/s, end-to-end
+messages/s, and the wall time of one bench-scale Water run (the Figure 3
+unit of work).  The file is a *trajectory*: each recorded run appends an
+entry, so the history of the hot path's speed lives next to the code
+that determines it.
+
+Modes::
+
+    python -m repro bench                 # run + append an entry
+    python -m repro bench --label "..."   # run + append with a label
+    python -m repro bench --check         # run + compare against the last
+                                          # committed entry; exit 1 on a
+                                          # >20% throughput regression (CI)
+
+``--check`` is wired into CI next to the observability-overhead and
+what-if-speedup guards; see docs/performance.md for how to read the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Dict, List, Optional
+
+#: Trajectory file, relative to the working directory (the repo root in CI).
+DEFAULT_PATH = "BENCH_simperf.json"
+
+#: Allowed fractional drop in throughput before --check fails.
+REGRESSION_TOLERANCE = 0.20
+
+#: Nominal operations per benchmark round, used to turn pytest-benchmark's
+#: min wall time into a throughput.  These mirror the benchmark bodies in
+#: benchmarks/test_simulator_perf.py.
+OPS_PER_ROUND = {
+    "test_engine_event_throughput": ("engine_events_per_s", 50_000),
+    "test_process_switch_throughput": ("process_switches_per_s", 10_020),
+    "test_message_pipeline_throughput": ("messages_per_s", 2_000),
+}
+
+#: Wall-time metric (lower is better) — one bench-scale Water run.
+WALL_TIME_BENCH = "test_full_app_run_wall_time"
+WALL_TIME_METRIC = "water_run_wall_s"
+
+
+def run_benchmarks(bench_file: str = "benchmarks/test_simulator_perf.py") -> Dict:
+    """Run the perf benchmarks in a subprocess; return pytest-benchmark JSON."""
+    fd, json_path = tempfile.mkstemp(suffix=".json", prefix="bench_")
+    os.close(fd)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", bench_file, "-q",
+             "--benchmark-disable-gc", f"--benchmark-json={json_path}"],
+            env=env,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"benchmark run failed (exit {proc.returncode})")
+        with open(json_path) as fh:
+            return json.load(fh)
+    finally:
+        os.unlink(json_path)
+
+
+def summarize(raw: Dict) -> Dict[str, float]:
+    """Collapse pytest-benchmark JSON into the headline metrics."""
+    mins = {}
+    for bench in raw["benchmarks"]:
+        name = bench["name"].split("[")[0]
+        mins[name] = bench["stats"]["min"]
+    metrics: Dict[str, float] = {}
+    for bench_name, (metric, ops) in OPS_PER_ROUND.items():
+        if bench_name in mins:
+            metrics[metric] = round(ops / mins[bench_name], 1)
+    if WALL_TIME_BENCH in mins:
+        metrics[WALL_TIME_METRIC] = round(mins[WALL_TIME_BENCH], 6)
+    return metrics
+
+
+def load_trajectory(path: str) -> Dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {
+            "description": "Simulator hot-path performance trajectory; "
+                           "append entries with `python -m repro bench`.",
+            "source": "benchmarks/test_simulator_perf.py "
+                      "(pytest-benchmark min over rounds)",
+            "entries": [],
+        }
+
+
+def check_regression(baseline: Dict[str, float], current: Dict[str, float],
+                     tolerance: float = REGRESSION_TOLERANCE) -> List[str]:
+    """Regression messages (empty = pass): throughputs may not drop and the
+    Water wall time may not grow by more than ``tolerance``."""
+    failures = []
+    for metric, base in baseline.items():
+        got = current.get(metric)
+        if got is None or base <= 0:
+            continue
+        if metric == WALL_TIME_METRIC:
+            if got > base * (1.0 + tolerance):
+                failures.append(
+                    f"{metric}: {got:.4f}s vs baseline {base:.4f}s "
+                    f"(+{(got / base - 1.0) * 100.0:.1f}%, limit +{tolerance * 100:.0f}%)")
+        elif got < base * (1.0 - tolerance):
+            failures.append(
+                f"{metric}: {got:,.0f}/s vs baseline {base:,.0f}/s "
+                f"({(got / base - 1.0) * 100.0:.1f}%, limit -{tolerance * 100:.0f}%)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(argv or [])
+    check = "--check" in argv
+    if check:
+        argv.remove("--check")
+    label = None
+    if "--label" in argv:
+        i = argv.index("--label")
+        label = argv[i + 1]
+        del argv[i:i + 2]
+    path = argv[0] if argv else DEFAULT_PATH
+
+    trajectory = load_trajectory(path)
+    metrics = summarize(run_benchmarks())
+    print("\ncurrent hot-path metrics:")
+    for metric, value in sorted(metrics.items()):
+        if metric == WALL_TIME_METRIC:
+            print(f"  {metric:28s} {value:>14,.4f} s")
+        else:
+            print(f"  {metric:28s} {value:>14,.1f} /s")
+
+    if check:
+        entries = trajectory["entries"]
+        if not entries:
+            print(f"no baseline entries in {path}; nothing to check against",
+                  file=sys.stderr)
+            return 2
+        baseline = entries[-1]
+        failures = check_regression(baseline["metrics"], metrics)
+        print(f"\nbaseline: {baseline.get('label', '?')}")
+        if failures:
+            print("PERFORMANCE REGRESSION:", file=sys.stderr)
+            for line in failures:
+                print("  " + line, file=sys.stderr)
+            return 1
+        print("within tolerance of the committed baseline "
+              f"(-{REGRESSION_TOLERANCE * 100:.0f}% throughput, "
+              f"+{REGRESSION_TOLERANCE * 100:.0f}% wall time)")
+        return 0
+
+    trajectory["entries"].append({
+        "label": label or "local run",
+        "metrics": metrics,
+    })
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    print(f"\nappended entry {len(trajectory['entries'])} to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main(sys.argv[1:]))

@@ -8,19 +8,35 @@ delay loops implement in the DAS gateways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..obs.events import QueueEvent
 from .linkspec import LinkSpec
 
 
-@dataclass
 class LinkStats:
-    messages: int = 0
-    bytes: int = 0
-    busy_time: float = 0.0
-    queue_time: float = 0.0  # total time messages waited for the wire
-    last_free: float = 0.0
+    """Per-link transfer counters (slotted: one instance per link, five
+    field updates per message on the hot path)."""
+
+    __slots__ = ("messages", "bytes", "busy_time", "queue_time", "last_free")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.busy_time = 0.0
+        self.queue_time = 0.0  # total time messages waited for the wire
+        self.last_free = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LinkStats(messages={self.messages}, bytes={self.bytes}, "
+                f"busy_time={self.busy_time}, queue_time={self.queue_time}, "
+                f"last_free={self.last_free})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkStats):
+            return NotImplemented
+        return (self.messages == other.messages and self.bytes == other.bytes
+                and self.busy_time == other.busy_time
+                and self.queue_time == other.queue_time
+                and self.last_free == other.last_free)
 
 
 class SerialResource:
@@ -44,7 +60,8 @@ class SerialResource:
 
     def reserve(self, ready_time: float) -> float:
         """Serve one request arriving at ``ready_time``; returns completion."""
-        start = max(ready_time, self._next_free)
+        next_free = self._next_free
+        start = ready_time if ready_time > next_free else next_free
         end = start + self.service_time
         self._next_free = end
         self.uses += 1
@@ -60,14 +77,22 @@ class Link:
     cut-through at message granularity: queueing (head-of-line blocking),
     serialization and propagation are modelled; per-packet pipelining is
     not, matching the message-level measurements in the paper.
+
+    The spec's bandwidth and latency are pre-resolved at construction
+    (``transfer`` runs once per message per hop).
     """
 
-    __slots__ = ("name", "spec", "_next_free", "stats", "noise", "bus")
+    __slots__ = ("name", "spec", "_next_free", "_bandwidth", "_latency",
+                 "stats", "noise", "bus")
 
     def __init__(self, name: str, spec: LinkSpec, noise=None, bus=None) -> None:
         self.name = name
         self.spec = spec
         self._next_free = 0.0
+        # Keep the division (not a reciprocal multiply): ``size / bandwidth``
+        # must stay bit-identical to the reference model.
+        self._bandwidth = spec.bandwidth
+        self._latency = spec.latency
         self.stats = LinkStats()
         #: optional :class:`~repro.network.variability.LinkNoise` sampler
         self.noise = noise
@@ -80,9 +105,10 @@ class Link:
         ``ready_time``; return the delivery time at the receiver."""
         if size < 0:
             raise ValueError(f"negative transfer size {size}")
-        start = max(ready_time, self._next_free)
-        duration = self.spec.transfer_time(size)
-        latency = self.spec.latency
+        next_free = self._next_free
+        start = ready_time if ready_time > next_free else next_free
+        duration = size / self._bandwidth
+        latency = self._latency
         if self.noise is not None:
             duration /= self.noise.bandwidth_factor(start)
             latency *= self.noise.latency_factor()

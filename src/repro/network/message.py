@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """A single application-level message.
 
@@ -18,23 +16,45 @@ class Message:
     receiving process (its in-memory size is irrelevant to timing, which is
     how the experiments run paper-sized transfers without materializing
     megabytes of data).
+
+    This is a plain slotted class on the per-message hot path: one is
+    allocated for every send in a run, so it carries no dataclass
+    machinery and :attr:`msg_id` is assigned lazily — the global id
+    counter is only consumed (and the id stored) when something actually
+    asks for it, e.g. a debugger or trace consumer.
     """
 
-    src: int
-    dst: int
-    tag: Any
-    size: int
-    payload: Any = None
-    send_time: float = 0.0
-    deliver_time: float = 0.0
-    inter_cluster: bool = False
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("src", "dst", "tag", "size", "payload", "send_time",
+                 "deliver_time", "inter_cluster", "_msg_id")
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise ValueError(f"negative message size {self.size}")
+    def __init__(self, src: int, dst: int, tag: Any, size: int,
+                 payload: Any = None, send_time: float = 0.0,
+                 deliver_time: float = 0.0, inter_cluster: bool = False,
+                 msg_id: Optional[int] = None) -> None:
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.size = size
+        self.payload = payload
+        self.send_time = send_time
+        self.deliver_time = deliver_time
+        self.inter_cluster = inter_cluster
+        self._msg_id = msg_id
+
+    @property
+    def msg_id(self) -> int:
+        mid = self._msg_id
+        if mid is None:
+            mid = self._msg_id = next(_msg_ids)
+        return mid
 
     @property
     def latency(self) -> float:
         """End-to-end delivery delay experienced by this message."""
         return self.deliver_time - self.send_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src}, dst={self.dst}, tag={self.tag!r}, "
+                f"size={self.size})")

@@ -15,11 +15,19 @@ connected shape; via the hub on a star; around the shorter arc on a
 ring), each with the gateway machine's per-message store-and-forward
 service, and a final local hop contended on the destination gateway's
 egress NIC.
+
+Hot-path layout: :meth:`Router.route` is executed once per message, so
+the per-rank/per-cluster resources are pre-resolved at construction into
+flat lookup tables (rank -> cluster id, rank -> bound ``Link.transfer``,
+cluster pair -> hop list) and the staged hops are scheduled as
+``functools.partial`` continuations of bound methods — no per-message
+closure cells are allocated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Tuple
 
 from ..obs.bus import ProbeBus
 from ..obs.events import GatewayEvent
@@ -81,6 +89,20 @@ class Router:
                        noise=wan_noise(f"wan{pair[0]}->{pair[1]}"), bus=bus)
             for pair in topology.wan_pairs()
         }
+        # Flat per-rank/per-pair tables for the per-message fast path
+        # (ranks are a contiguous range, so list indexing applies).
+        self._cluster_of: List[int] = [topology.cluster_of(r)
+                                       for r in topology.ranks()]
+        self._nic_transfer: List[Callable[[float, int], float]] = [
+            self._nic[r].transfer for r in topology.ranks()
+        ]
+        self._gateway_out_transfer: List[Callable[[float, int], float]] = [
+            self._gateway_out[c].transfer for c in topology.clusters()
+        ]
+        self._hops: Dict[Tuple[int, int], List[Tuple[int, int]]] = {
+            (a, b): topology.wan_route(a, b)
+            for a in topology.clusters() for b in topology.clusters() if a != b
+        }
 
     # ------------------------------------------------------------------
     def route(self, msg: Message, depart_time: float, engine: "Engine",
@@ -93,59 +115,65 @@ class Router:
         order, not in the order the sends were issued.  ``on_deliver`` is
         invoked (via the engine) at the delivery time.
         """
-        topo = self.topology
-        bus = self.bus
-        src_cluster = topo.cluster_of(msg.src)
-        dst_cluster = topo.cluster_of(msg.dst)
+        cluster_of = self._cluster_of
+        src_cluster = cluster_of[msg.src]
+        dst_cluster = cluster_of[msg.dst]
         msg.send_time = depart_time
+        size = msg.size
 
         if src_cluster == dst_cluster:
             msg.inter_cluster = False
             for record in self._traffic_intra:
-                record(msg.size)
+                record(size)
             # The sender NIC is a per-rank resource fed in send order.
-            deliver = self._nic[msg.src].transfer(depart_time, msg.size)
+            deliver = self._nic_transfer[msg.src](depart_time, size)
             msg.deliver_time = deliver
-            engine.call_at(deliver, lambda: on_deliver(msg))
+            engine.call_at(deliver, partial(on_deliver, msg))
             return
 
         msg.inter_cluster = True
         for record in self._traffic_inter:
-            record(src_cluster, dst_cluster, msg.size)
-        at_gateway = self._nic[msg.src].transfer(depart_time, msg.size)
-        hops = topo.wan_route(src_cluster, dst_cluster)
+            record(src_cluster, dst_cluster, size)
+        at_gateway = self._nic_transfer[msg.src](depart_time, size)
+        hops = self._hops[(src_cluster, dst_cluster)]
+        engine.call_at(at_gateway,
+                       partial(self._traverse, msg, hops, 0, engine, on_deliver))
 
-        def traverse(hop_index: int) -> None:
-            # At the gateway of hops[hop_index][0]; arrival time is `now`.
-            # The gateway machine's TCP stack serves one message at a time;
-            # reserving at arrival time keeps its queue causally ordered.
-            here, nxt = hops[hop_index]
-            cpu = self._gateway_cpu[here]
-            ready = cpu.reserve(engine.now)
-            if bus.want_gateway:
-                bus.emit("gateway", GatewayEvent(engine.now, here,
-                                                 ready - cpu.service_time,
-                                                 ready, msg.size))
-            at_next = self._wan[(here, nxt)].transfer(ready, msg.size)
-            if hop_index + 1 < len(hops):
-                # Star/ring shapes: store-and-forward at the intermediate
-                # cluster's gateway, then onward.
-                engine.call_at(at_next, lambda: traverse(hop_index + 1))
-            else:
-                engine.call_at(at_next, arrive)
+    def _traverse(self, msg: Message, hops: List[Tuple[int, int]],
+                  hop_index: int, engine: "Engine",
+                  on_deliver: Callable[[Message], None]) -> None:
+        # At the gateway of hops[hop_index][0]; arrival time is `now`.
+        # The gateway machine's TCP stack serves one message at a time;
+        # reserving at arrival time keeps its queue causally ordered.
+        here, nxt = hops[hop_index]
+        cpu = self._gateway_cpu[here]
+        ready = cpu.reserve(engine.now)
+        if self.bus.want_gateway:
+            self.bus.emit("gateway", GatewayEvent(engine.now, here,
+                                                  ready - cpu.service_time,
+                                                  ready, msg.size))
+        at_next = self._wan[(here, nxt)].transfer(ready, msg.size)
+        if hop_index + 1 < len(hops):
+            # Star/ring shapes: store-and-forward at the intermediate
+            # cluster's gateway, then onward.
+            engine.call_at(at_next, partial(self._traverse, msg, hops,
+                                            hop_index + 1, engine, on_deliver))
+        else:
+            engine.call_at(at_next, partial(self._arrive, msg, engine,
+                                            on_deliver))
 
-        def arrive() -> None:
-            cpu = self._gateway_cpu[dst_cluster]
-            ready = cpu.reserve(engine.now)
-            if bus.want_gateway:
-                bus.emit("gateway", GatewayEvent(engine.now, dst_cluster,
-                                                 ready - cpu.service_time,
-                                                 ready, msg.size))
-            deliver = self._gateway_out[dst_cluster].transfer(ready, msg.size)
-            msg.deliver_time = deliver
-            engine.call_at(deliver, lambda: on_deliver(msg))
-
-        engine.call_at(at_gateway, lambda: traverse(0))
+    def _arrive(self, msg: Message, engine: "Engine",
+                on_deliver: Callable[[Message], None]) -> None:
+        dst_cluster = self._cluster_of[msg.dst]
+        cpu = self._gateway_cpu[dst_cluster]
+        ready = cpu.reserve(engine.now)
+        if self.bus.want_gateway:
+            self.bus.emit("gateway", GatewayEvent(engine.now, dst_cluster,
+                                                  ready - cpu.service_time,
+                                                  ready, msg.size))
+        deliver = self._gateway_out_transfer[dst_cluster](ready, msg.size)
+        msg.deliver_time = deliver
+        engine.call_at(deliver, partial(on_deliver, msg))
 
     # ------------------------------------------------------------------
     # Introspection used by tests and reports

@@ -7,18 +7,29 @@ raw material for the communication-time percentages of Figure 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 
-@dataclass
 class LayerCounters:
-    messages: int = 0
-    bytes: int = 0
+    """Message/byte tally, slotted — updated once per message."""
+
+    __slots__ = ("messages", "bytes")
+
+    def __init__(self, messages: int = 0, bytes: int = 0) -> None:
+        self.messages = messages
+        self.bytes = bytes
 
     def record(self, size: int) -> None:
         self.messages += 1
         self.bytes += size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LayerCounters(messages={self.messages}, bytes={self.bytes})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LayerCounters):
+            return NotImplemented
+        return self.messages == other.messages and self.bytes == other.bytes
 
 
 class TrafficStats:
@@ -48,9 +59,10 @@ class TrafficStats:
         self.inter.record(size)
         self.inter_out[src_cluster].record(size)
         key = (src_cluster, dst_cluster)
-        if key not in self.pair:
-            self.pair[key] = LayerCounters()
-        self.pair[key].record(size)
+        counters = self.pair.get(key)
+        if counters is None:
+            counters = self.pair[key] = LayerCounters()
+        counters.record(size)
 
     # Probe-bus subscriber aliases (topics "traffic_intra"/"traffic_inter").
     on_traffic_intra = record_intra

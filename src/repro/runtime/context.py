@@ -9,6 +9,14 @@ methods return syscall objects that the process yields::
         msg = yield ctx.recv("row")
 
 Composite operations (``rpc``) are generators used with ``yield from``.
+
+Hot-path layout: a context pre-resolves its per-rank resources (CPU
+clock, stats record, endpoint, engine, bus) once at construction, and
+the four hot syscalls (``compute``/``send``/``recv``/``recv_nowait``)
+are *reused* per context — a syscall object is yielded, applied and dead
+within one process step, so the factory methods refill one cached
+instance instead of allocating.  An ``in_flight`` flag falls back to a
+fresh allocation for code that holds a syscall across a yield.
 """
 
 from __future__ import annotations
@@ -37,30 +45,37 @@ class RpcEnvelope:
 
 
 class _Compute(Syscall):
-    __slots__ = ("ctx", "duration")
+    __slots__ = ("ctx", "duration", "in_flight")
 
     def __init__(self, ctx: "Context", duration: float) -> None:
         if duration < 0:
             raise ValueError(f"negative compute duration {duration!r}")
         self.ctx = ctx
         self.duration = duration
+        self.in_flight = False
 
     def apply(self, proc: Process) -> None:
+        self.in_flight = False
         ctx = self.ctx
-        machine = ctx.machine
-        end = machine.cpus[ctx.rank].reserve(machine.now, self.duration)
-        machine.rank_stats[ctx.rank].compute_time += self.duration
-        bus = machine.bus
-        if bus.want_compute and self.duration > 0:
-            bus.emit("compute", ComputeEvent(end - self.duration, end, ctx.rank))
+        duration = self.duration
+        engine = ctx._engine
+        now = engine.now
+        end = ctx._cpu.reserve(now, duration)
+        ctx._stats.compute_time += duration
+        bus = ctx._bus
+        if bus.want_compute and duration > 0:
+            bus.emit("compute", ComputeEvent(end - duration, end, ctx.rank))
         if bus.want_op:
-            bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank, proc.daemon,
-                                   "compute", duration=self.duration))
-        machine.engine.call_at(end, lambda: proc._step(None, None))
+            bus.emit("op", OpEvent(now, proc.name, ctx.rank, proc.daemon,
+                                   "compute", duration=duration))
+        if end > now:
+            engine.call_at(end, proc.trampoline)
+        else:
+            engine.call_soon(proc.trampoline)
 
 
 class _Send(Syscall):
-    __slots__ = ("ctx", "dst", "size", "tag", "payload")
+    __slots__ = ("ctx", "dst", "size", "tag", "payload", "in_flight")
 
     def __init__(self, ctx: "Context", dst: int, size: int, tag: Any, payload: Any) -> None:
         self.ctx = ctx
@@ -68,28 +83,48 @@ class _Send(Syscall):
         self.size = size
         self.tag = tag
         self.payload = payload
+        self.in_flight = False
 
     def apply(self, proc: Process) -> None:
+        self.in_flight = False
         ctx = self.ctx
         machine = ctx.machine
-        topo = machine.topology
-        spec = topo.local if topo.same_cluster(ctx.rank, self.dst) else topo.wide
+        dst = self.dst
+        size = self.size
+        tag = self.tag
+        spec = (ctx._local_spec if ctx._rank_cluster[dst] == ctx._my_cluster
+                else ctx._wide_spec)
         # Host overhead is paid sequentially by this process but does not
         # reserve the rank CPU: on the DAS, messaging ran on the LANai
         # co-processor / Panda upcall thread, so a computing process does
         # not stall the message pipeline of its neighbours on the rank.
-        overhead_end = machine.now + spec.send_overhead
-        machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
-        if machine.bus.want_op:
-            machine.bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
-                                           proc.daemon, "send", dst=self.dst,
-                                           size=self.size, tag=self.tag))
-        msg = Message(src=ctx.rank, dst=self.dst, tag=self.tag,
-                      size=self.size, payload=self.payload)
-        machine.transmit(msg, overhead_end)
+        engine = ctx._engine
+        now = engine.now
+        overhead_end = now + spec.send_overhead
+        ctx._stats.send_overhead_time += spec.send_overhead
+        if ctx._bus.want_op:
+            ctx._bus.emit("op", OpEvent(now, proc.name, ctx.rank,
+                                        proc.daemon, "send", dst=dst,
+                                        size=size, tag=tag))
+        msg = Message(ctx.rank, dst, tag, size, self.payload)
+        self.payload = None
+        bus = ctx._bus
+        if bus.want_send or bus.want_deliver:
+            machine.transmit(msg, overhead_end)
+        else:
+            # Un-instrumented fast path: route directly with the pre-bound
+            # endpoint deliver (same behaviour as Machine.transmit minus
+            # the probe emits, which nothing is subscribed to).
+            ctx._route(msg, overhead_end, engine, ctx._deliver_fns[dst])
+            stats = ctx._stats
+            stats.messages_sent += 1
+            stats.bytes_sent += size
         # Asynchronous send: the sender continues once the host overhead
         # is paid (the NIC/gateway pipeline drains without the CPU).
-        machine.engine.call_at(overhead_end, lambda: proc._step(None, None))
+        if overhead_end > now:
+            engine.call_at(overhead_end, proc.trampoline)
+        else:
+            engine.call_soon(proc.trampoline)
 
 
 class _Multicast(Syscall):
@@ -97,7 +132,7 @@ class _Multicast(Syscall):
 
     def __init__(self, ctx: "Context", dsts, size: int, tag: Any, payload: Any) -> None:
         self.ctx = ctx
-        self.dsts = list(dsts)
+        self.dsts = tuple(dsts)
         self.size = size
         self.tag = tag
         self.payload = payload
@@ -107,76 +142,101 @@ class _Multicast(Syscall):
         machine = ctx.machine
         spec = machine.topology.local
         overhead_end = machine.now + spec.send_overhead
-        machine.rank_stats[ctx.rank].send_overhead_time += spec.send_overhead
-        if machine.bus.want_op:
-            machine.bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
-                                           proc.daemon, "multicast",
-                                           dst=tuple(self.dsts), size=self.size,
-                                           tag=self.tag))
+        ctx._stats.send_overhead_time += spec.send_overhead
+        if ctx._bus.want_op:
+            ctx._bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
+                                        proc.daemon, "multicast",
+                                        dst=self.dsts, size=self.size,
+                                        tag=self.tag))
         machine.transmit_multicast(ctx.rank, self.dsts, self.size, self.tag,
                                    self.payload, overhead_end)
-        machine.engine.call_at(overhead_end, lambda: proc._step(None, None))
+        machine.engine.call_at(overhead_end, proc.trampoline)
 
 
 class _Recv(Syscall):
-    __slots__ = ("ctx", "tag")
+    """Blocking receive.
+
+    The syscall object itself is the mailbox receiver: ``apply`` stashes
+    the waiting process and wait-start time and registers one pre-bound
+    method, so the un-instrumented blocking path allocates nothing.  The
+    state is consumed when the message arrives, which always happens
+    before the owning process can issue another receive — so the
+    per-context reuse is safe even while blocked.
+    """
+
+    __slots__ = ("ctx", "tag", "proc", "wait_start", "in_flight", "_receiver")
 
     def __init__(self, ctx: "Context", tag: Any) -> None:
         self.ctx = ctx
         self.tag = tag
+        self.proc: Optional[Process] = None
+        self.wait_start = 0.0
+        self.in_flight = False
+        self._receiver = self._on_message
 
     def apply(self, proc: Process) -> None:
+        self.in_flight = False
         ctx = self.ctx
-        machine = ctx.machine
-        wait_start = machine.now
-        bus = machine.bus
+        tag = self.tag
+        bus = ctx._bus
+        self.proc = proc
+        wait_start = self.wait_start = ctx._engine.now
         if bus.want_block:
-            bus.emit("block", BlockEvent(wait_start, ctx.rank, self.tag))
+            bus.emit("block", BlockEvent(wait_start, ctx.rank, tag))
         if bus.want_op:
-            bus.emit("op", OpEvent(wait_start, proc.name, ctx.rank, proc.daemon,
-                                   "recv", tag=self.tag))
+            bus.emit("op", OpEvent(wait_start, proc.name, ctx.rank,
+                                   proc.daemon, "recv", tag=tag))
+        ctx._endpoint.box(tag).add_receiver(self._receiver)
 
-        def on_message(msg: Message) -> None:
-            stats = machine.rank_stats[ctx.rank]
-            if not proc.daemon:
-                # Idle time is only meaningful for application processes;
-                # service daemons block on their inboxes by design.
-                stats.recv_blocked_time += machine.now - wait_start
-            if bus.want_unblock:
-                bus.emit("unblock", UnblockEvent(machine.now, ctx.rank, self.tag,
-                                                 machine.now - wait_start))
-            if bus.want_op:
-                bus.emit("op", OpEvent(machine.now, proc.name, ctx.rank,
-                                       proc.daemon, "recv_done", src=msg.src,
-                                       size=msg.size, tag=self.tag))
-            topo = machine.topology
-            spec = topo.wide if msg.inter_cluster else topo.local
-            # Like the send overhead, this is a sequential delay for the
-            # receiving process, not a rank-CPU reservation (see _Send).
-            end = machine.now + spec.recv_overhead
-            stats.recv_overhead_time += spec.recv_overhead
-            stats.messages_received += 1
-            machine.engine.call_at(end, lambda: proc._step(msg, None))
-
-        machine.endpoints[ctx.rank].box(self.tag).get_event().add_callback(on_message)
+    def _on_message(self, msg: Message) -> None:
+        ctx = self.ctx
+        proc = self.proc
+        tag = self.tag
+        engine = ctx._engine
+        now = engine.now
+        stats = ctx._stats
+        bus = ctx._bus
+        if not proc.daemon:
+            # Idle time is only meaningful for application processes;
+            # service daemons block on their inboxes by design.
+            stats.recv_blocked_time += now - self.wait_start
+        if bus.want_unblock:
+            bus.emit("unblock", UnblockEvent(now, ctx.rank, tag,
+                                             now - self.wait_start))
+        if bus.want_op:
+            bus.emit("op", OpEvent(now, proc.name, ctx.rank, proc.daemon,
+                                   "recv_done", src=msg.src,
+                                   size=msg.size, tag=tag))
+        spec = ctx._wide_spec if msg.inter_cluster else ctx._local_spec
+        # Like the send overhead, this is a sequential delay for the
+        # receiving process, not a rank-CPU reservation (see _Send).
+        end = now + spec.recv_overhead
+        stats.recv_overhead_time += spec.recv_overhead
+        stats.messages_received += 1
+        proc._value = msg
+        if end > now:
+            engine.call_at(end, proc.trampoline)
+        else:
+            engine.call_soon(proc.trampoline)
 
 
 class _RecvNowait(Syscall):
-    __slots__ = ("ctx", "tag")
+    __slots__ = ("ctx", "tag", "in_flight")
 
     def __init__(self, ctx: "Context", tag: Any) -> None:
         self.ctx = ctx
         self.tag = tag
+        self.in_flight = False
 
     def apply(self, proc: Process) -> None:
+        self.in_flight = False
         ctx = self.ctx
-        machine = ctx.machine
-        msg = machine.endpoints[ctx.rank].box(self.tag).try_get()
+        msg = ctx._endpoint.box(self.tag).try_get()
         if msg is not None:
-            machine.rank_stats[ctx.rank].messages_received += 1
-        if machine.bus.want_op:
-            machine.bus.emit("op", OpEvent(
-                machine.now, proc.name, ctx.rank, proc.daemon, "poll",
+            ctx._stats.messages_received += 1
+        if ctx._bus.want_op:
+            ctx._bus.emit("op", OpEvent(
+                ctx._engine.now, proc.name, ctx.rank, proc.daemon, "poll",
                 src=msg.src if msg is not None else -1, tag=self.tag,
                 detail=msg is not None))
         proc.resume(msg)
@@ -228,6 +288,24 @@ class Context:
         self.process: Optional[Process] = None
         self._rpc_ids = itertools.count()
         self.rng = make_rng(machine.seed, f"rank{rank}")
+        # Pre-resolved per-rank resources (stable for the machine's life).
+        self._engine = machine.engine
+        self._bus = machine.bus
+        self._cpu = machine.cpus[rank]
+        self._stats = machine.rank_stats[rank]
+        self._endpoint = machine.endpoints[rank]
+        topo = machine.topology
+        self._rank_cluster = topo._rank_cluster
+        self._my_cluster = topo._rank_cluster[rank]
+        self._local_spec = topo.local
+        self._wide_spec = topo.wide
+        self._route = machine.router.route
+        self._deliver_fns = machine._deliver
+        # Reusable hot syscalls (see module docstring).
+        self._compute = _Compute(self, 0.0)
+        self._send = _Send(self, 0, 0, None, None)
+        self._recv = _Recv(self, None)
+        self._recv_nowait = _RecvNowait(self, None)
 
     # ------------------------------------------------------------------
     # Topology conveniences
@@ -246,7 +324,7 @@ class Context:
 
     @property
     def now(self) -> float:
-        return self.machine.now
+        return self._engine.now
 
     def is_local(self, other: int) -> bool:
         return self.machine.topology.same_cluster(self.rank, other)
@@ -256,11 +334,26 @@ class Context:
     # ------------------------------------------------------------------
     def compute(self, duration: float) -> Syscall:
         """Charge ``duration`` seconds of CPU work on this rank."""
-        return _Compute(self, duration)
+        if duration < 0:
+            raise ValueError(f"negative compute duration {duration!r}")
+        sc = self._compute
+        if sc.in_flight:
+            return _Compute(self, duration)
+        sc.in_flight = True
+        sc.duration = duration
+        return sc
 
     def send(self, dst: int, size: int, tag: Any, payload: Any = None) -> Syscall:
         """Asynchronously send ``size`` bytes to rank ``dst`` under ``tag``."""
-        return _Send(self, dst, size, tag, payload)
+        sc = self._send
+        if sc.in_flight:
+            return _Send(self, dst, size, tag, payload)
+        sc.in_flight = True
+        sc.dst = dst
+        sc.size = size
+        sc.tag = tag
+        sc.payload = payload
+        return sc
 
     def multicast(self, dsts, size: int, tag: Any, payload: Any = None) -> Syscall:
         """Intra-cluster multicast: one NIC transfer, many deliveries.
@@ -272,11 +365,21 @@ class Context:
 
     def recv(self, tag: Any) -> Syscall:
         """Block until a message tagged ``tag`` arrives; yields the Message."""
-        return _Recv(self, tag)
+        sc = self._recv
+        if sc.in_flight:
+            return _Recv(self, tag)
+        sc.in_flight = True
+        sc.tag = tag
+        return sc
 
     def recv_nowait(self, tag: Any) -> Syscall:
         """Poll for a message tagged ``tag``; yields the Message or None."""
-        return _RecvNowait(self, tag)
+        sc = self._recv_nowait
+        if sc.in_flight:
+            return _RecvNowait(self, tag)
+        sc.in_flight = True
+        sc.tag = tag
+        return sc
 
     def phase(self, name: str):
         """Scope marking a named application phase on this rank::

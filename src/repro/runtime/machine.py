@@ -13,6 +13,7 @@ computation time — the effect the paper's optimizations trade against.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..network.message import Message
@@ -113,6 +114,11 @@ class Machine:
         self.bus.attach(self.stats)
         self.router = Router(topology, self.stats, seed=seed, bus=self.bus)
         self.endpoints: List[Endpoint] = [Endpoint(r) for r in topology.ranks()]
+        # Pre-bound per-rank deliver methods: transmit() hands these to the
+        # router so the un-instrumented path allocates nothing per message.
+        self._deliver: List[Callable[[Message], None]] = [
+            ep.deliver for ep in self.endpoints
+        ]
         self.cpus: List[CpuClock] = [CpuClock() for _ in topology.ranks()]
         self.rank_stats: List[RankStats] = [RankStats() for _ in topology.ranks()]
         self._main_procs: List[Process] = []
@@ -154,6 +160,11 @@ class Machine:
         rank = self._rank_of(proc)
         if rank is not None:
             self.rank_stats[rank].finish_time = self.engine.now
+        if self._live_main == 0:
+            # End the simulation right after this callback: remaining
+            # daemon events stay queued, exactly like the old step() loop
+            # that re-checked the live count before every event.
+            self.engine.stop()
 
     def _rank_of(self, proc: Process) -> Optional[int]:
         name = proc.name
@@ -169,9 +180,9 @@ class Machine:
     def transmit(self, msg: Message, depart_time: float) -> None:
         """Route ``msg``; delivery is scheduled through the engine (shared
         resources are reserved in arrival order along the path)."""
-        endpoint = self.endpoints[msg.dst]
         bus = self.bus
         if bus.want_deliver:
+            endpoint = self.endpoints[msg.dst]
             engine = self.engine
 
             def deliver(m: Message) -> None:
@@ -180,7 +191,7 @@ class Machine:
                                                  engine.now - m.send_time))
                 endpoint.deliver(m)
         else:
-            deliver = endpoint.deliver
+            deliver = self._deliver[msg.dst]
         self.router.route(msg, depart_time, self.engine, deliver)
         if bus.want_send:
             # After route(): the message knows whether it crossed the WAN.
@@ -206,16 +217,13 @@ class Machine:
                     f"multicast from {src} to {dst} crosses clusters; "
                     f"use point-to-point sends over the WAN"
                 )
-        deliver = self.router.nic(src).transfer(depart_time, size)
+        deliver_time = self.router.nic(src).transfer(depart_time, size)
         self.bus.emit_traffic_intra(size)
-        deliver_time = deliver
+        deliver_fns = self._deliver
         for dst in dsts:
-            msg = Message(src=src, dst=dst, tag=tag, size=size, payload=payload)
-            msg.send_time = depart_time
-            msg.deliver_time = deliver_time
-            endpoint = self.endpoints[dst]
-            self.engine.call_at(deliver_time,
-                                lambda ep=endpoint, m=msg: ep.deliver(m))
+            msg = Message(src, dst, tag, size, payload,
+                          send_time=depart_time, deliver_time=deliver_time)
+            self.engine.call_at(deliver_time, partial(deliver_fns[dst], msg))
         st = self.rank_stats[src]
         st.messages_sent += 1
         st.bytes_sent += size
@@ -231,13 +239,18 @@ class Machine:
         processes are still blocked (a protocol bug in the application).
         """
         eng = self.engine
-        while self._live_main > 0:
-            if until is not None and eng.peek() > until:
-                raise TimeoutError(
-                    f"simulation exceeded until={until}s with {self._live_main} "
-                    f"main processes still live"
-                )
-            if not eng.step():
+        if self._live_main > 0:
+            # The engine runs flat out; _main_done stops it the moment the
+            # last main process finishes (leaving daemon events queued).
+            eng.run(until=until)
+            if self._live_main > 0:
+                # The engine returned on its own: it either drained or hit
+                # the horizon with main processes still blocked.
+                if until is not None:
+                    raise TimeoutError(
+                        f"simulation exceeded until={until}s with "
+                        f"{self._live_main} main processes still live"
+                    )
                 blocked = [p.name for p in self._main_procs if not p.finished]
                 waiting = {
                     ep.rank: ep.waiting() for ep in self.endpoints if ep.waiting()

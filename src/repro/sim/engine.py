@@ -1,9 +1,25 @@
 """Discrete-event simulation engine.
 
-The engine is a minimal, deterministic event scheduler: a binary heap of
-``(time, sequence, callback)`` entries.  Ties in time are broken by the
-monotonically increasing sequence number, so two runs of the same program
-produce identical event orders (see DESIGN.md section 6).
+The engine is a minimal, deterministic event scheduler.  Every pending
+event is a ``(time, sequence, callback)`` entry; ties in time are broken
+by the monotonically increasing sequence number, so two runs of the same
+program produce identical event orders (see DESIGN.md section 6).
+
+Internally the entries live in three structures, merged on pop by their
+``(time, sequence)`` key — the observable order is exactly that of a
+single binary heap, but the common scheduling patterns skip the heap:
+
+- ``_ready`` — a FIFO of zero-delay events (:meth:`call_soon`, and
+  :meth:`call_after` with ``delay == 0``).  Entries are appended with
+  ``time == now``; since ``now`` and the sequence counter are both
+  monotone the deque is already sorted, so push and pop are O(1).  This
+  is the dominant pattern in process scheduling (start/resume/throw).
+- ``_sorted`` / ``_si`` — a sorted array walked by index.  When
+  :meth:`run` finds a large backlog (events scheduled before the run
+  started), it sorts the backlog once and then pops by incrementing an
+  index instead of paying an O(log n) heap sift per event.
+- ``_queue`` — the binary heap, used for everything scheduled at a
+  positive delay while the simulation runs.
 
 The engine knows nothing about processes, networks or messages; those are
 layered on top (``repro.sim.process``, ``repro.runtime``).
@@ -14,7 +30,15 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Heap size at :meth:`Engine.run` entry above which the backlog is
+#: sorted once and walked by index instead of heap-popped.
+_BATCH_THRESHOLD = 64
 
 
 class SimulationError(RuntimeError):
@@ -31,65 +55,203 @@ class Engine:
         eng.run()
     """
 
+    __slots__ = ("now", "_queue", "_ready", "_sorted", "_si", "_seq",
+                 "_events_processed", "_running", "_stopped")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._ready: deque = deque()
+        self._sorted: List[Tuple[float, int, Callable[[], None]]] = []
+        self._si = 0
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._stopped = False
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at the current time, after already-pending
+        events at this time (identical to ``call_after(0.0, fn)``)."""
+        self._ready.append((self.now, next(self._seq), fn))
+
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when!r}, which is before now={self.now!r}"
             )
-        if math.isnan(when):
+        if when != when:  # NaN compares false against everything
             raise SimulationError("cannot schedule at NaN time")
-        heapq.heappush(self._queue, (when, next(self._seq), fn))
+        _heappush(self._queue, (when, next(self._seq), fn))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self.call_at(self.now + delay, fn)
+        if delay == 0.0:
+            self._ready.append((self.now, next(self._seq), fn))
+            return
+        when = self.now + delay
+        if when != when:
+            raise SimulationError("cannot schedule at NaN time")
+        _heappush(self._queue, (when, next(self._seq), fn))
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Make the current :meth:`run` return after the active callback.
+
+        The pending queue is left intact; a later ``run`` resumes where
+        this one stopped.  (:class:`~repro.runtime.machine.Machine` uses
+        this to end the simulation when the last main process finishes.)
+        """
+        self._stopped = True
+
+    def _pop_next(self):
+        """Pop the globally earliest entry, or None when idle."""
+        ready = self._ready
+        queue = self._queue
+        if self._si < len(self._sorted):
+            entry = self._sorted[self._si]
+            if ready and ready[0] < entry:
+                entry = ready[0]
+            if queue and queue[0] < entry:
+                return _heappop(queue)
+            if ready and entry is ready[0]:
+                return ready.popleft()
+            self._si += 1
+            if self._si == len(self._sorted):
+                self._sorted = []
+                self._si = 0
+            return entry
+        if ready:
+            if queue and queue[0] < ready[0]:
+                return _heappop(queue)
+            return ready.popleft()
+        if queue:
+            return _heappop(queue)
+        return None
+
     def step(self) -> bool:
         """Run the single earliest pending event.  Returns False if idle."""
-        if not self._queue:
+        entry = self._pop_next()
+        if entry is None:
             return False
-        when, _seq, fn = heapq.heappop(self._queue)
-        self.now = when
+        self.now = entry[0]
         self._events_processed += 1
-        fn()
+        entry[2]()
         return True
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the queue drains, ``until`` is reached, or
-        ``max_events`` have been processed in this call.
+    def _adopt_backlog(self) -> None:
+        """Move a large pre-run heap into the sorted batch array."""
+        batch = self._sorted
+        if self._si:
+            del batch[:self._si]
+            self._si = 0
+        batch.extend(self._queue)
+        batch.sort()
+        self._queue.clear()
 
-        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached,
+        ``max_events`` have been processed in this call, or :meth:`stop`
+        is called from a callback.
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        run, and the clock is left at ``until`` even when the queue
+        drains before reaching it.
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
-        processed = 0
+        self._stopped = False
+        if len(self._queue) >= _BATCH_THRESHOLD:
+            self._adopt_backlog()
+        # Locals for the hot loop: these bindings are stable for the whole
+        # run (callbacks mutate the structures in place, never rebind them).
+        queue = self._queue
+        ready = self._ready
+        popleft = ready.popleft
+        pop = _heappop
+        batch = self._sorted
+        si = self._si
+        sn = len(batch)
+        n = 0
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self.now = until
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                self.step()
-                processed += 1
+            if until is None and max_events is None:
+                while True:
+                    if si < sn:
+                        entry = batch[si]
+                        if ready and ready[0] < entry:
+                            if queue and queue[0] < ready[0]:
+                                entry = pop(queue)
+                            else:
+                                entry = popleft()
+                        elif queue and queue[0] < entry:
+                            entry = pop(queue)
+                        else:
+                            si += 1
+                            self._si = si
+                    elif ready:
+                        if queue and queue[0] < ready[0]:
+                            entry = pop(queue)
+                        else:
+                            entry = popleft()
+                    elif queue:
+                        entry = pop(queue)
+                    else:
+                        break
+                    self.now = entry[0]
+                    n += 1
+                    entry[2]()
+                    if self._stopped:
+                        break
+            else:
+                while not self._stopped:
+                    if max_events is not None and n >= max_events:
+                        break
+                    if si < sn:
+                        nxt = batch[si]
+                        if ready and ready[0] < nxt:
+                            nxt = ready[0]
+                        if queue and queue[0] < nxt:
+                            nxt = queue[0]
+                    elif ready:
+                        nxt = ready[0]
+                        if queue and queue[0] < nxt:
+                            nxt = queue[0]
+                    elif queue:
+                        nxt = queue[0]
+                    else:
+                        # Drained early: the horizon still passes.
+                        if until is not None and until > self.now:
+                            self.now = until
+                        break
+                    if until is not None and nxt[0] > until:
+                        self.now = until
+                        break
+                    if si < sn and nxt is batch[si]:
+                        si += 1
+                        self._si = si
+                        entry = nxt
+                    elif ready and nxt is ready[0]:
+                        entry = popleft()
+                    else:
+                        entry = pop(queue)
+                    self.now = entry[0]
+                    n += 1
+                    entry[2]()
         finally:
+            self._events_processed += n
+            if si == sn:
+                self._sorted = []
+                self._si = 0
+            else:
+                self._si = si
             self._running = False
 
     # ------------------------------------------------------------------
@@ -98,7 +260,7 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of events waiting in the queue."""
-        return len(self._queue)
+        return len(self._queue) + len(self._ready) + len(self._sorted) - self._si
 
     @property
     def events_processed(self) -> int:
@@ -107,7 +269,14 @@ class Engine:
 
     def peek(self) -> float:
         """Time of the next pending event (``inf`` when idle)."""
-        return self._queue[0][0] if self._queue else math.inf
+        best = math.inf
+        if self._si < len(self._sorted):
+            best = self._sorted[self._si][0]
+        if self._ready and self._ready[0][0] < best:
+            best = self._ready[0][0]
+        if self._queue and self._queue[0][0] < best:
+            best = self._queue[0][0]
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Engine(now={self.now:.6f}, pending={self.pending})"

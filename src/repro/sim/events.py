@@ -60,15 +60,17 @@ class Mailbox:
     """An unbounded FIFO with blocking receive.
 
     ``put`` either hands the item directly to the oldest waiting receiver
-    or enqueues it.  ``get_event`` returns a :class:`SimEvent` that fires
-    with the next item (immediately if one is queued).
+    or enqueues it.  ``add_receiver`` registers a plain callback for the
+    next item (invoked immediately when one is queued) — the cheapest
+    receive path, used once per message by the runtime.  ``get_event``
+    wraps that in a :class:`SimEvent` for code that wants an event handle.
     """
 
     __slots__ = ("_items", "_waiters")
 
     def __init__(self) -> None:
         self._items: Deque[Any] = deque()
-        self._waiters: Deque[SimEvent] = deque()
+        self._waiters: Deque[Callable[[Any], None]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -79,16 +81,23 @@ class Mailbox:
 
     def put(self, item: Any) -> None:
         if self._waiters:
-            self._waiters.popleft().succeed(item)
+            self._waiters.popleft()(item)
         else:
             self._items.append(item)
 
+    def add_receiver(self, cb: Callable[[Any], None]) -> None:
+        """Run ``cb`` with the next item — now if one is queued, else when
+        the next ``put`` arrives.  Each callback receives exactly one item
+        (FIFO among waiting receivers)."""
+        items = self._items
+        if items:
+            cb(items.popleft())
+        else:
+            self._waiters.append(cb)
+
     def get_event(self) -> SimEvent:
         ev = SimEvent()
-        if self._items:
-            ev.succeed(self._items.popleft())
-        else:
-            self._waiters.append(ev)
+        self.add_receiver(ev.succeed)
         return ev
 
     def try_get(self) -> Optional[Any]:

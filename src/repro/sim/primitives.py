@@ -28,7 +28,9 @@ class Sleep(Syscall):
         self.duration = duration
 
     def apply(self, proc: Process) -> None:
-        proc.engine.call_after(self.duration, lambda: proc._step(None, None))
+        # The trampoline resumes with the stashed value, which is None for
+        # a sleeping process — no closure needed.
+        proc.engine.call_after(self.duration, proc.trampoline)
 
 
 class WaitEvent(Syscall):
@@ -52,7 +54,7 @@ class GetFromMailbox(Syscall):
         self.mailbox = mailbox
 
     def apply(self, proc: Process) -> None:
-        self.mailbox.get_event().add_callback(proc.resume)
+        self.mailbox.add_receiver(proc.resume)
 
 
 class Immediate(Syscall):

@@ -9,6 +9,13 @@ back into the generator, so application code reads naturally::
         msg = yield ctx.recv(tag="work")
 
 Composite operations are ordinary sub-generators used with ``yield from``.
+
+Scheduling note: a process is resumed through one reusable bound-method
+trampoline (:attr:`Process.trampoline`).  ``resume``/``throw`` stash the
+value (or exception) on the process and enqueue the trampoline on the
+engine's zero-delay ready queue, so the per-switch cost is one deque
+append — no closure is allocated.  Syscalls that resume at a later time
+may schedule the same trampoline with ``engine.call_at(when, proc.trampoline)``.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ class Syscall:
     to be called later; it must not resume the process synchronously.
     """
 
+    __slots__ = ()
+
     def apply(self, proc: "Process") -> None:
         raise NotImplementedError
 
@@ -39,6 +48,10 @@ class Process:
     finished and :attr:`result` holds its return value.
     """
 
+    __slots__ = ("engine", "name", "daemon", "_body", "finished", "failed",
+                 "result", "_done_callbacks", "_started", "_value", "_exc",
+                 "trampoline")
+
     def __init__(self, engine: Engine, body: ProcessBody, name: str = "proc",
                  daemon: bool = False) -> None:
         self.engine = engine
@@ -50,22 +63,29 @@ class Process:
         self.result: Any = None
         self._done_callbacks: List[Callable[["Process"], None]] = []
         self._started = False
+        #: value/exception handed to the generator at the next trampoline hop
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        #: the one bound method every resume of this process schedules
+        self.trampoline = self._hop
 
     # ------------------------------------------------------------------
     def start(self) -> "Process":
         if self._started:
             raise RuntimeError(f"process {self.name} already started")
         self._started = True
-        self.engine.call_after(0.0, lambda: self._step(None, None))
+        self.engine.call_soon(self.trampoline)
         return self
 
     def resume(self, value: Any = None) -> None:
         """Schedule the generator to continue with ``value`` at the current time."""
-        self.engine.call_after(0.0, lambda: self._step(value, None))
+        self._value = value
+        self.engine.call_soon(self.trampoline)
 
     def throw(self, exc: BaseException) -> None:
         """Schedule the generator to continue by raising ``exc`` inside it."""
-        self.engine.call_after(0.0, lambda: self._step(None, exc))
+        self._exc = exc
+        self.engine.call_soon(self.trampoline)
 
     def on_done(self, cb: Callable[["Process"], None]) -> None:
         if self.finished:
@@ -74,7 +94,14 @@ class Process:
             self._done_callbacks.append(cb)
 
     # ------------------------------------------------------------------
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+    def _hop(self) -> None:
+        """Engine callback: deliver the stashed value/exception to the body."""
+        value = self._value
+        exc = self._exc
+        if value is not None:
+            self._value = None
+        if exc is not None:
+            self._exc = None
         if self.finished:
             return
         try:
@@ -98,6 +125,13 @@ class Process:
             self._finish(result=None)
             raise self.failed
         item.apply(self)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        """Deliver ``value``/``exc`` to the body synchronously (compat shim
+        around :meth:`_hop`, the engine-scheduled fast path)."""
+        self._value = value
+        self._exc = exc
+        self._hop()
 
     def _finish(self, result: Any) -> None:
         self.finished = True

@@ -1,0 +1,37 @@
+"""Regenerate tests/goldens/app_fingerprints.json from the current simulator.
+
+Run only when an *intentional* model change lands (new cost term, changed
+overhead accounting, ...) — never to paper over an unexplained diff in
+``tests/test_golden_fingerprints.py``, whose job is to catch exactly those.
+
+    PYTHONPATH=src python tests/goldens/regen_fingerprints.py
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.apps import app_names  # noqa: E402
+
+
+def main() -> None:
+    # Import here so the test module stays the single fingerprint definition.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+    from test_golden_fingerprints import SEEDS, VARIANTS, fingerprint
+
+    out = {}
+    for app in sorted(app_names()):
+        for variant in VARIANTS:
+            for seed in SEEDS:
+                key = f"{app}/{variant}/seed{seed}"
+                out[key] = fingerprint(app, variant, seed)
+                print(key, out[key]["runtime"], out[key]["total_messages"])
+    path = pathlib.Path(__file__).parent / "app_fingerprints.json"
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -152,3 +152,102 @@ def test_zero_delay_event_runs_at_current_time():
     eng.call_at(3.0, lambda: eng.call_after(0.0, lambda: times.append(eng.now)))
     eng.run()
     assert times == [3.0]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    """Regression: ``run(until=...)`` must report the horizon, not the last
+    event time, when the queue empties before the horizon is reached."""
+    eng = Engine()
+    eng.call_at(1.0, lambda: None)
+    eng.run(until=5.0)
+    assert eng.now == 5.0
+    assert eng.pending == 0
+    # Empty-queue run with a horizon also advances the clock.
+    eng.run(until=9.0)
+    assert eng.now == 9.0
+    # ...but never backwards.
+    eng.run(until=2.0)
+    assert eng.now == 9.0
+
+
+def test_call_soon_runs_at_current_time_in_order():
+    eng = Engine()
+    trace = []
+
+    def seed():
+        eng.call_soon(lambda: trace.append(("soon1", eng.now)))
+        eng.call_soon(lambda: trace.append(("soon2", eng.now)))
+
+    eng.call_at(2.0, seed)
+    eng.run()
+    assert trace == [("soon1", 2.0), ("soon2", 2.0)]
+
+
+def test_ready_queue_and_heap_interleave_by_sequence_at_equal_times():
+    """The zero-delay ready queue and the timed heap must merge into one
+    global (time, sequence) order: entries scheduled at the *same* timestamp
+    fire in scheduling order regardless of which structure holds them."""
+    eng = Engine()
+    fired = []
+
+    def seed():
+        # Alternate structures at the identical timestamp eng.now == 1.0:
+        # heap, ready, heap, ready — insertion order must win.
+        eng.call_at(1.0, lambda: fired.append("heap-a"))
+        eng.call_soon(lambda: fired.append("ready-b"))
+        eng.call_after(0.0, lambda: fired.append("ready-c"))
+        eng.call_at(1.0, lambda: fired.append("heap-d"))
+        eng.call_soon(lambda: fired.append("ready-e"))
+
+    eng.call_at(1.0, seed)
+    eng.run()
+    assert fired == ["heap-a", "ready-b", "ready-c", "heap-d", "ready-e"]
+
+
+def test_batched_backlog_interleaves_with_mid_run_events():
+    """A large pre-scheduled backlog (sorted-batch fast path) must still
+    interleave correctly with events scheduled while the run is underway."""
+    eng = Engine()
+    fired = []
+    n = 100  # above the internal batch-adoption threshold
+
+    def make(i):
+        def cb():
+            fired.append(("pre", i))
+            if i % 10 == 0:
+                # Same-time follow-up goes through the ready queue...
+                eng.call_soon(lambda: fired.append(("soon", i)))
+                # ...and a timed follow-up lands between backlog entries.
+                eng.call_at(eng.now + 0.5, lambda: fired.append(("mid", i)))
+        return cb
+
+    for i in range(n):
+        eng.call_at(float(i), make(i))
+    eng.run()
+
+    expect = []
+    for i in range(n):
+        expect.append(("pre", i))
+        if i % 10 == 0:
+            expect.append(("soon", i))
+        if i >= 1 and (i - 1) % 10 == 0:
+            # fired at (i-1) + 0.5, i.e. just before ("pre", i)
+            expect.insert(len(expect) - 1, ("mid", i - 1))
+    # The final mid event (from i=90... none: 90+0.5 < 91) is covered above;
+    # the last backlog entry is 99 so every mid fires before some pre.
+    assert fired == expect
+
+
+def test_stop_halts_run_and_preserves_pending_events():
+    eng = Engine()
+    fired = []
+    eng.call_at(1.0, lambda: fired.append(1))
+    eng.call_at(2.0, lambda: (fired.append(2), eng.stop()))
+    eng.call_at(3.0, lambda: fired.append(3))
+    eng.run()
+    assert fired == [1, 2]
+    assert eng.now == 2.0
+    assert eng.pending == 1
+    # A fresh run picks the remaining events back up.
+    eng.run()
+    assert fired == [1, 2, 3]

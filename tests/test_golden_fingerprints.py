@@ -1,0 +1,78 @@
+"""Golden determinism fingerprints for the simulator hot path.
+
+The file ``tests/goldens/app_fingerprints.json`` was captured from the
+reference (pre-optimization) simulator: for every application, variant and
+seed it records the run's finish time, per-layer traffic summary and
+per-rank statistics with full ``repr`` precision.  The optimized engine
+(ready queue + sorted-batch backlog), slotted messages, reusable syscalls
+and pre-bound router tables must reproduce these runs *bit-identically* —
+any change in event ordering or float arithmetic shows up here before it
+can silently shift the paper's results.
+
+Regenerate (only when an intentional model change lands) with::
+
+    PYTHONPATH=src python tests/goldens/regen_fingerprints.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps import app_names, default_config, run_app
+from repro.network import das_topology
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "goldens" / "app_fingerprints.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+SEEDS = (0, 7)
+VARIANTS = ("unoptimized", "optimized")
+
+
+def fingerprint(app, variant, seed):
+    """Repr-exact fingerprint; must match tests/goldens/regen_fingerprints.py."""
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    config = default_config(app, "bench")
+    r = run_app(app, variant, topo, config=config, seed=seed)
+    summary = r.traffic_summary()
+    return {
+        "runtime": repr(r.runtime),
+        "total_messages": r.stats.total_messages,
+        "summary": {k: repr(v) for k, v in sorted(summary.items())},
+        "rank_stats": [
+            {
+                "compute_time": repr(s.compute_time),
+                "send_overhead_time": repr(s.send_overhead_time),
+                "recv_overhead_time": repr(s.recv_overhead_time),
+                "recv_blocked_time": repr(s.recv_blocked_time),
+                "messages_sent": s.messages_sent,
+                "messages_received": s.messages_received,
+                "bytes_sent": s.bytes_sent,
+                "finish_time": repr(s.finish_time),
+            }
+            for s in r.rank_stats
+        ],
+    }
+
+
+def test_golden_file_covers_every_app():
+    expected = {f"{app}/{variant}/seed{seed}"
+                for app in app_names() for variant in VARIANTS for seed in SEEDS}
+    assert set(GOLDENS) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("app", sorted(app_names()))
+def test_run_matches_golden_fingerprint(app, variant, seed):
+    key = f"{app}/{variant}/seed{seed}"
+    golden = GOLDENS[key]
+    got = fingerprint(app, variant, seed)
+    # Compare piecewise so a mismatch names the drifting quantity.
+    assert got["runtime"] == golden["runtime"]
+    assert got["total_messages"] == golden["total_messages"]
+    assert got["summary"] == golden["summary"]
+    for rank, (g, want) in enumerate(zip(got["rank_stats"],
+                                         golden["rank_stats"])):
+        assert g == want, f"rank {rank} statistics drifted"
