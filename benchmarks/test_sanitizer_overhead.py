@@ -1,0 +1,81 @@
+"""Sanitizer overhead guard: ``sanitize=False`` must cost literally zero.
+
+The sanitizer rides the probe bus, so its disabled cost is the bus's
+no-subscriber fast path — one attribute load and a branch per probe
+point, no event objects.  Two deterministic guards:
+
+1. **Call-count parity**: an identical message pipeline run with
+   ``Machine(topo)`` and ``Machine(topo, sanitize=False)`` must execute
+   *exactly* the same number of Python function calls — the flag defaults
+   to off and must not construct, attach, or consult anything.
+2. **Structural zero-cost**: ``sanitize=False`` leaves the sanitizer
+   unset and every topic it would subscribe to (send/deliver/op) cold,
+   so the publishers never build event objects.
+
+A third check bounds the *enabled* cost only loosely (it is allowed to
+cost, it is opt-in): sanitize=True must still run the same schedule to
+the same simulated clock.
+"""
+
+import cProfile
+import pstats
+
+from repro.network import das_topology
+from repro.runtime import Machine
+
+
+def run_message_pipeline(n=5_000, **machine_kwargs):
+    topo = das_topology(clusters=2, cluster_size=2)
+    machine = Machine(topo, **machine_kwargs)
+
+    def sender(ctx):
+        for i in range(n):
+            yield ctx.send(3, 256, "t", payload=i)
+
+    def receiver(ctx):
+        for _ in range(n):
+            yield ctx.recv("t")
+
+    def idle(ctx):
+        yield ctx.compute(0)
+
+    machine.spawn(0, sender)
+    machine.spawn(3, receiver)
+    machine.spawn(1, idle)
+    machine.spawn(2, idle)
+    finish = machine.run()
+    assert machine.stats.total_messages == n
+    return finish, machine
+
+
+def total_calls(**machine_kwargs):
+    profile = cProfile.Profile()
+    profile.enable()
+    run_message_pipeline(**machine_kwargs)
+    profile.disable()
+    return pstats.Stats(profile).total_calls
+
+
+def test_sanitize_disabled_call_count_parity():
+    baseline = total_calls()
+    disabled = total_calls(sanitize=False)
+    assert disabled == baseline, (
+        f"sanitize=False costs {disabled - baseline:+d} Python calls over "
+        f"a bare Machine ({disabled} vs {baseline}) — the disabled "
+        f"sanitizer must be free")
+
+
+def test_sanitize_disabled_leaves_topics_cold():
+    _, machine = run_message_pipeline(n=10, sanitize=False)
+    assert machine.sanitizer is None
+    bus = machine.bus
+    for topic in ("send", "deliver", "op", "compute", "queue", "gateway",
+                  "block", "unblock", "phase"):
+        assert getattr(bus, f"want_{topic}") is False, topic
+
+
+def test_sanitize_enabled_same_simulated_clock():
+    finish_off, _ = run_message_pipeline(n=2_000)
+    finish_on, machine = run_message_pipeline(n=2_000, sanitize=True)
+    assert repr(finish_on) == repr(finish_off)
+    assert machine.sanitizer.findings == []

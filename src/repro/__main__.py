@@ -23,6 +23,7 @@ from .experiments import (
     variability,
 )
 from .experiments import cache as cache_cli
+from .lint import cli as lint_cli
 from .obs import cli as trace_cli
 from .whatif import cli as whatif_cli
 
@@ -43,6 +44,7 @@ COMMANDS = {
     "whatif": (whatif_cli.main, "Record-once what-if analysis: predicted Figure-3 grid"),
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
     "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),
+    "lint": (lint_cli.main, "Static determinism/protocol lint over app modules"),
 }
 
 

@@ -86,14 +86,17 @@ def run_app(
     seed: int = 0,
     until: Optional[float] = None,
     bus: Any = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """Build and run one application variant on ``topology``.
 
     ``bus`` (a prepared :class:`~repro.obs.bus.ProbeBus`) instruments the
     run; active run reporters receive a record tagged with app/variant.
+    ``sanitize=True`` attaches the runtime protocol sanitizer.
     """
     if config is None:
         config = default_config(name, scale)
     main = get_builder(name, variant)(config)
     return run_spmd(topology, main, seed=seed, until=until, bus=bus,
+                    sanitize=sanitize,
                     report_meta={"app": name, "variant": variant})

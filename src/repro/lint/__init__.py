@@ -1,0 +1,35 @@
+"""Correctness tooling: determinism lint + simulation sanitizer.
+
+Two prongs guard the invariants every published number rests on:
+
+- :mod:`repro.lint.static` — an AST linter flagging determinism hazards
+  (wall-clock reads, global RNG, hash-order iteration), protocol misuse
+  (non-syscall yields, blocking calls, unmatched receives) and shared
+  mutable module state.  CLI: ``python -m repro lint [--strict] [paths]``.
+- :mod:`repro.lint.sanitizer` — an opt-in probe-bus subscriber
+  (``run_spmd(..., sanitize=True)``) checking FIFO delivery order,
+  message conservation and engine-time monotonicity live, and turning
+  drained-while-blocked states into wait-for-cycle reports with
+  per-process blocked-at backtraces.
+
+See ``docs/lint.md`` for the rule catalogue and suppression syntax.
+"""
+
+from .rules import Finding, RULES, RUNTIME_RULES, Rule, STATIC_RULES
+from .sanitizer import (DeadlockReport, Sanitizer, SanitizerError,
+                        blocked_frames)
+from .static import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "STATIC_RULES",
+    "RUNTIME_RULES",
+    "lint_paths",
+    "lint_source",
+    "Sanitizer",
+    "SanitizerError",
+    "DeadlockReport",
+    "blocked_frames",
+]

@@ -1,0 +1,88 @@
+"""``python -m repro lint``: static determinism/protocol lint.
+
+Walks the given files and directories (default: ``src/repro`` and
+``examples`` when run from a checkout, else the current directory),
+reports findings as ``file:line:col severity[rule] message`` lines and
+exits non-zero when any *error* finding survives — or, with
+``--strict``, when anything at all does::
+
+    python -m repro lint                       # lint the checkout
+    python -m repro lint --strict src/repro examples
+    python -m repro lint --format json my_app.py
+    python -m repro lint --list-rules
+
+``--format json`` emits a machine-readable array (one object per
+finding: file, line, col, rule, severity, message) for CI annotation;
+``--format github`` emits GitHub Actions ``::error``/``::warning``
+workflow commands directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .rules import RULES, STATIC_RULES
+from .static import lint_paths
+
+
+def _default_paths() -> List[str]:
+    paths = [p for p in ("src/repro", "examples") if os.path.isdir(p)]
+    return paths or ["."]
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: src/repro + examples)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings too, not just errors")
+    parser.add_argument("--format", choices=["text", "json", "github"],
+                        default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in STATIC_RULES:
+            print(f"{rule.id:18s} {rule.severity:8s} {rule.summary}")
+        runtime = [r for r in RULES.values() if r.kind == "runtime"]
+        print("\nruntime (sanitizer) rules:")
+        for rule in runtime:
+            print(f"{rule.id:18s} {rule.severity:8s} {rule.summary}")
+        return 0
+
+    paths = args.paths or _default_paths()
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as err:
+        print(f"repro lint: {err}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2,
+                         default=repr))
+    elif args.format == "github":
+        for f in findings:
+            print(f.render_github())
+    else:
+        for f in findings:
+            print(f.render())
+
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if args.format == "text":
+        print(f"repro lint: {errors} error(s), {warnings} warning(s) in "
+              f"{len(paths)} path(s)", file=sys.stderr)
+    failed = errors > 0 or (args.strict and warnings > 0)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

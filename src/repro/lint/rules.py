@@ -1,0 +1,121 @@
+"""Rule catalogue and finding records for :mod:`repro.lint`.
+
+Every check — static (AST) or runtime (sanitizer) — reports findings
+under a stable kebab-case rule id, so suppression comments, CI
+annotations and the documentation all speak the same vocabulary.
+``docs/lint.md`` carries one minimal bad/good example per rule.
+
+Severities: ``error`` findings fail a default lint run; ``warning``
+findings fail only under ``--strict``.  The runtime sanitizer raises
+:class:`~repro.lint.sanitizer.SanitizerError` on ``error`` findings and
+merely records ``warning`` ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant the lint subsystem checks."""
+
+    id: str
+    severity: str
+    summary: str
+    kind: str  # "static" or "runtime"
+
+
+#: Static (AST) rules, checked by :mod:`repro.lint.static`.
+STATIC_RULES = (
+    Rule("wall-clock", ERROR,
+         "wall-clock time read; simulated code must use ctx.now / engine.now",
+         "static"),
+    Rule("global-rng", ERROR,
+         "global random module used; draw from repro.sim.rng.make_rng streams",
+         "static"),
+    Rule("unseeded-rng", ERROR,
+         "RNG constructed without an explicit seed", "static"),
+    Rule("set-iteration", ERROR,
+         "iteration over a set; order is hash-dependent — sort first", "static"),
+    Rule("dict-view-order", WARNING,
+         "dict-view iteration feeds message emission; insertion order may "
+         "depend on arrival order", "static"),
+    Rule("id-keyed", WARNING,
+         "id()-keyed container; object ids vary across runs", "static"),
+    Rule("yield-non-syscall", ERROR,
+         "process coroutine yields a non-Syscall value", "static"),
+    Rule("blocking-call", ERROR,
+         "real blocking call inside simulation code", "static"),
+    Rule("recv-unmatched", WARNING,
+         "recv on a channel no linted code sends on", "static"),
+    Rule("module-state", WARNING,
+         "module-level mutable state mutated from a coroutine is shared "
+         "across ranks", "static"),
+)
+
+#: Runtime rules, checked by :class:`repro.lint.sanitizer.Sanitizer`.
+RUNTIME_RULES = (
+    Rule("deadlock-cycle", ERROR,
+         "blocked processes form a wait-for cycle", "runtime"),
+    Rule("leaked-messages", WARNING,
+         "messages left in a mailbox at run end (sent but never received)",
+         "runtime"),
+    Rule("lost-in-flight", ERROR,
+         "engine drained with messages sent but never delivered", "runtime"),
+    Rule("fifo-violation", ERROR,
+         "per-(src, dst, tag) delivery order differs from send order",
+         "runtime"),
+    Rule("deliver-without-send", ERROR,
+         "a message was delivered on a channel with no outstanding send",
+         "runtime"),
+    Rule("time-regression", ERROR,
+         "engine time moved backwards between observed events", "runtime"),
+)
+
+RULES: Dict[str, Rule] = {r.id: r for r in STATIC_RULES + RUNTIME_RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint/sanitizer finding, JSON-serializable for CI annotation."""
+
+    rule: str
+    severity: str
+    message: str
+    file: str = ""
+    line: int = 0
+    col: int = 0
+    detail: Optional[Any] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = {"rule": self.rule, "severity": self.severity,
+             "message": self.message, "file": self.file, "line": self.line,
+             "col": self.col}
+        if self.detail is not None:
+            d["detail"] = self.detail
+        return d
+
+    def render(self) -> str:
+        loc = f"{self.file}:{self.line}:{self.col}: " if self.file else ""
+        return f"{loc}{self.severity}[{self.rule}] {self.message}"
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation line."""
+        level = "error" if self.severity == ERROR else "warning"
+        if self.file:
+            return (f"::{level} file={self.file},line={self.line},"
+                    f"col={self.col},title=lint {self.rule}::{self.message}")
+        return f"::{level} title=lint {self.rule}::{self.message}"
+
+
+def make_finding(rule_id: str, message: str, file: str = "", line: int = 0,
+                 col: int = 0, detail: Any = None) -> Finding:
+    """Build a finding with the severity from the catalogue."""
+    return Finding(rule=rule_id, severity=RULES[rule_id].severity,
+                   message=message, file=file, line=line, col=col,
+                   detail=detail)

@@ -1,0 +1,324 @@
+"""Runtime simulation sanitizer: protocol invariants checked live.
+
+The :class:`Sanitizer` is an opt-in probe-bus subscriber
+(``Machine(..., sanitize=True)`` / ``run_spmd(..., sanitize=True)``)
+that observes the ``send``/``deliver``/``op`` topics and checks, as the
+run executes:
+
+- **engine-time monotonicity** — observed event times never regress;
+- **per-(src, dst, tag) FIFO** — deliveries on a channel happen in send
+  order (each delivery is matched to the oldest outstanding send via its
+  latency, so a reordering is caught at the exact message);
+- **message conservation** — at a drained run end every routed message
+  was delivered, and mailbox contents that no receiver ever consumed are
+  reported per channel as leaks;
+- **deadlock cycles** — when the event queue drains with live processes,
+  a wait-for graph over the blocked processes (edges to the historical
+  senders of the awaited channel) names every rank and channel in each
+  cycle, with per-process blocked-at backtraces read straight off the
+  suspended generator frames.
+
+Because it is an ordinary bus subscriber, the sanitizer reuses the
+no-subscriber fast path: with ``sanitize=False`` (the default) no topic
+flag flips and the simulation runs the exact un-instrumented hot path.
+With it on, the simulation is *observed but untouched* — results stay
+byte-identical (see ``tests/lint/test_golden_parity.py``).
+
+Error-severity findings (FIFO violations, time regressions, lost
+messages) raise :class:`SanitizerError` at run end; leak reports are
+warnings available on :attr:`Sanitizer.findings`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..obs.events import DeliverEvent, OpEvent, SendEvent
+from .rules import Finding, make_finding
+
+#: Relative tolerance when matching a delivery back to its send time.
+_TIME_EPS = 1e-9
+
+Channel = Tuple[int, int, Any]  # (src, dst, tag)
+
+
+class SanitizerError(RuntimeError):
+    """An error-severity runtime invariant was violated."""
+
+    def __init__(self, findings: List[Finding]) -> None:
+        self.findings = findings
+        lines = "\n".join("  " + f.render() for f in findings)
+        super().__init__(f"simulation sanitizer: {len(findings)} "
+                         f"invariant violation(s)\n{lines}")
+
+
+class DeadlockReport:
+    """Structured description of a drained-while-blocked state."""
+
+    def __init__(self, blocked: List[Dict[str, Any]],
+                 cycles: List[List[Dict[str, Any]]]) -> None:
+        #: every live-but-blocked process: proc/rank/tag/frames
+        self.blocked = blocked
+        #: wait-for cycles; each entry lists the processes in the cycle
+        self.cycles = cycles
+
+    def render(self) -> str:
+        lines = []
+        for cyc in self.cycles:
+            arrow = " -> ".join(
+                f"rank{e['rank']}[{e['proc']}] waits {e['tag']!r}"
+                for e in cyc)
+            lines.append(f"deadlock cycle: {arrow} -> (back to start)")
+        for entry in self.blocked:
+            where = entry["frames"][-1] if entry["frames"] else None
+            at = f" at {where[0]}:{where[1]} in {where[2]}" if where else ""
+            lines.append(f"  rank{entry['rank']} [{entry['proc']}] blocked "
+                         f"on recv({entry['tag']!r}){at}")
+        return "\n".join(lines)
+
+    def ranks_in_cycles(self) -> Set[int]:
+        return {e["rank"] for cyc in self.cycles for e in cyc}
+
+    def tags_in_cycles(self) -> Set[Any]:
+        return {e["tag"] for cyc in self.cycles for e in cyc}
+
+
+def blocked_frames(proc) -> List[Tuple[str, int, str]]:
+    """(file, line, function) chain of a suspended process generator,
+    outermost first — the innermost entry is where it is blocked."""
+    frames: List[Tuple[str, int, str]] = []
+    gen = getattr(proc, "_body", None)
+    seen = 0
+    while gen is not None and seen < 64:
+        frame = getattr(gen, "gi_frame", None)
+        if frame is None:
+            break
+        frames.append((frame.f_code.co_filename, frame.f_lineno,
+                       frame.f_code.co_name))
+        gen = getattr(gen, "gi_yieldfrom", None)
+        seen += 1
+    return frames
+
+
+class Sanitizer:
+    """Probe-bus subscriber enforcing runtime protocol invariants."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.deadlock_report: Optional[DeadlockReport] = None
+        #: outstanding send times per channel (depart-time FIFO)
+        self._send_fifo: Dict[Channel, deque] = {}
+        self._sent: Dict[Channel, int] = {}
+        self._delivered: Dict[Channel, int] = {}
+        #: consumed message count per (rank, tag) — recv_done + poll hits
+        self._consumed: Dict[Tuple[int, Any], int] = {}
+        #: historical senders per (dst_rank, tag) — the wait-for edges
+        self._senders: Dict[Tuple[int, Any], Set[int]] = {}
+        #: proc name -> (rank, tag) while blocked in a recv
+        self._blocked: Dict[str, Tuple[int, Any]] = {}
+        self._last_time = 0.0
+        self._events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Bus handlers (wired by ProbeBus.attach)
+    # ------------------------------------------------------------------
+    def on_send(self, ev: SendEvent) -> None:
+        # ev.time is the *depart* time (now + host overhead), which may
+        # lie ahead of other events observed this instant — it feeds the
+        # per-channel FIFO, not the global monotonicity check.
+        chan = (ev.src, ev.dst, ev.tag)
+        fifo = self._send_fifo.get(chan)
+        if fifo is None:
+            fifo = self._send_fifo[chan] = deque()
+        fifo.append(ev.time)
+        self._sent[chan] = self._sent.get(chan, 0) + 1
+        self._senders.setdefault((ev.dst, ev.tag), set()).add(ev.src)
+        self._events_seen += 1
+
+    def on_deliver(self, ev: DeliverEvent) -> None:
+        self._check_monotonic(ev.time)
+        chan = (ev.src, ev.dst, ev.tag)
+        self._delivered[chan] = self._delivered.get(chan, 0) + 1
+        fifo = self._send_fifo.get(chan)
+        if not fifo:
+            self.findings.append(make_finding(
+                "deliver-without-send",
+                f"delivery on channel {chan!r} at t={ev.time:.9f} with no "
+                f"outstanding send"))
+            return
+        expected = fifo.popleft()
+        actual = ev.time - ev.latency  # the delivered message's send time
+        tol = _TIME_EPS * max(1.0, abs(expected))
+        if abs(actual - expected) > tol:
+            self.findings.append(make_finding(
+                "fifo-violation",
+                f"channel {chan!r}: delivered message sent at "
+                f"t={actual:.9f} but the oldest outstanding send departed "
+                f"at t={expected:.9f} — per-channel FIFO order broken"))
+
+    def on_op(self, ev: OpEvent) -> None:
+        self._check_monotonic(ev.time)
+        kind = ev.kind
+        if kind == "recv":
+            self._blocked[ev.proc] = (ev.rank, ev.tag)
+        elif kind == "recv_done":
+            self._blocked.pop(ev.proc, None)
+            key = (ev.rank, ev.tag)
+            self._consumed[key] = self._consumed.get(key, 0) + 1
+        elif kind == "poll":
+            if ev.detail:
+                key = (ev.rank, ev.tag)
+                self._consumed[key] = self._consumed.get(key, 0) + 1
+        elif kind == "multicast":
+            # Multicast bypasses the routed send/deliver probes; track the
+            # sender for wait-for edges (leak accounting reads the actual
+            # mailboxes at run end, which covers multicast payloads too).
+            for dst in (ev.dst if isinstance(ev.dst, tuple) else (ev.dst,)):
+                self._senders.setdefault((dst, ev.tag), set()).add(ev.rank)
+        self._events_seen += 1
+
+    def _check_monotonic(self, when: float) -> None:
+        if when < self._last_time - _TIME_EPS:
+            self.findings.append(make_finding(
+                "time-regression",
+                f"observed event at t={when:.9f} after t="
+                f"{self._last_time:.9f} — engine time moved backwards"))
+        elif when > self._last_time:
+            self._last_time = when
+
+    # ------------------------------------------------------------------
+    # End-of-run checks (called by Machine.run)
+    # ------------------------------------------------------------------
+    def finish(self, machine, drained: bool) -> None:
+        """Conservation + leak accounting; raises on error findings."""
+        for chan, sent in sorted(self._sent.items(), key=repr):
+            in_flight = sent - self._delivered.get(chan, 0)
+            if in_flight <= 0:
+                continue
+            if drained:
+                # The queue is empty, so the delivery event can never run:
+                # an engine/transport invariant broke, not an app bug.
+                self.findings.append(make_finding(
+                    "lost-in-flight",
+                    f"channel {chan!r}: {in_flight} message(s) sent but "
+                    f"never delivered although the event queue drained"))
+            else:
+                self.findings.append(make_finding(
+                    "leaked-messages",
+                    f"channel {chan!r}: {in_flight} message(s) still in "
+                    f"flight when the run stopped (no receiver consumed "
+                    f"them)"))
+        for endpoint in machine.endpoints:
+            for tag, count in sorted(endpoint.pending().items(), key=repr):
+                self.findings.append(make_finding(
+                    "leaked-messages",
+                    f"rank {endpoint.rank}, tag {tag!r}: {count} message(s) "
+                    f"delivered but never received by any process"))
+        errors = [f for f in self.findings if f.severity == "error"]
+        if errors:
+            raise SanitizerError(errors)
+
+    def leaks(self) -> List[Finding]:
+        return [f for f in self.findings if f.rule == "leaked-messages"]
+
+    # ------------------------------------------------------------------
+    # Deadlock analysis (called by Machine.run on drain-while-live)
+    # ------------------------------------------------------------------
+    def on_deadlock(self, machine) -> DeadlockReport:
+        """Build the wait-for graph over blocked processes and report."""
+        procs = [p for p in machine._main_procs + machine._daemon_procs
+                 if not p.finished]
+        blocked_entries: List[Dict[str, Any]] = []
+        by_rank: Dict[int, List[str]] = {}
+        info: Dict[str, Dict[str, Any]] = {}
+        for proc in procs:
+            where = self._blocked.get(proc.name)
+            rank, tag = where if where is not None else (None, None)
+            entry = {"proc": proc.name, "rank": rank, "tag": tag,
+                     "frames": blocked_frames(proc)}
+            blocked_entries.append(entry)
+            info[proc.name] = entry
+            if rank is not None:
+                by_rank.setdefault(rank, []).append(proc.name)
+
+        # Wait-for edges: P waits on (rank, tag); every blocked process on
+        # a rank that historically sent that channel may be the one whose
+        # progress P needs.
+        edges: Dict[str, List[str]] = {}
+        for entry in blocked_entries:
+            if entry["rank"] is None:
+                continue
+            senders = self._senders.get((entry["rank"], entry["tag"]), ())
+            targets = []
+            for sender_rank in sorted(senders):
+                targets.extend(by_rank.get(sender_rank, ()))
+            edges[entry["proc"]] = targets
+
+        cycles = _find_cycles(edges)
+        report = DeadlockReport(
+            blocked=blocked_entries,
+            cycles=[[info[name] for name in cyc] for cyc in cycles])
+        self.deadlock_report = report
+        for cyc in report.cycles:
+            names = ", ".join(f"rank{e['rank']}<-{e['tag']!r}" for e in cyc)
+            self.findings.append(make_finding(
+                "deadlock-cycle",
+                f"wait-for cycle over {len(cyc)} process(es): {names}"))
+        return report
+
+
+def _find_cycles(edges: Dict[str, List[str]]) -> List[List[str]]:
+    """Cycles in the wait-for graph: Tarjan SCCs of size > 1, plus
+    self-loops, each reported once in a stable node order."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[List[str]] = []
+
+    def strongconnect(v: str) -> None:
+        # Iterative Tarjan: (node, child-iterator) frames.
+        work = [(v, iter(edges.get(v, ())))]
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in edges and w not in index:
+                    continue
+                if w not in index:
+                    index[w] = lowlink[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(edges.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1 or node in edges.get(node, ()):
+                    sccs.append(list(reversed(scc)))
+
+    for v in edges:
+        if v not in index:
+            strongconnect(v)
+    return sccs

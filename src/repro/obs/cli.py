@@ -46,6 +46,9 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--wan-shape", default="full",
                         choices=["full", "star", "ring"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the runtime protocol sanitizer "
+                             "(repro.lint); prints its findings at the end")
     parser.add_argument("--width", type=int, default=72,
                         help="timeline width in character bins")
     parser.add_argument("--out", default=None,
@@ -72,7 +75,8 @@ def main(argv: Optional[list] = None) -> None:
     meta = {"app": args.app, "variant": args.variant, "scale": args.scale,
             "bandwidth_mbyte_s": args.bw, "latency_ms": args.lat,
             "harness": "trace"}
-    result = run_spmd(topo, body, seed=args.seed, bus=bus)
+    result = run_spmd(topo, body, seed=args.seed, bus=bus,
+                      sanitize=args.sanitize)
     metrics.finalize(result.runtime)
 
     events = perfetto.write(out_path)
@@ -99,6 +103,14 @@ def main(argv: Optional[list] = None) -> None:
             [[r["src_cluster"], r["dst_cluster"], r["messages"],
               f"{r['mbytes']:.3f}"] for r in pair_rows],
             title="inter-cluster traffic matrix"))
+    if args.sanitize:
+        findings = result.machine.sanitizer.findings
+        if findings:
+            print(f"sanitizer: {len(findings)} finding(s)")
+            for f in findings:
+                print("  " + f.render())
+        else:
+            print("sanitizer: clean (FIFO, conservation, monotonicity)")
     print(f"wrote {events} trace events to {out_path}")
     print(f"wrote run report to {report_path}", file=sys.stderr)
 

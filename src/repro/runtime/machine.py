@@ -98,7 +98,7 @@ class Machine:
     """A two-layer parallel machine executing simulated processes."""
 
     def __init__(self, topology: Topology, seed: int = 0, tracer=None,
-                 bus: Optional[ProbeBus] = None) -> None:
+                 bus: Optional[ProbeBus] = None, sanitize: bool = False) -> None:
         self.topology = topology
         self.seed = seed
         #: the probe bus every layer of this machine publishes into;
@@ -109,6 +109,15 @@ class Machine:
         self.tracer = tracer
         if tracer is not None:
             self.bus.attach(tracer)
+        #: opt-in runtime protocol sanitizer (:mod:`repro.lint.sanitizer`);
+        #: an ordinary bus subscriber, so ``sanitize=False`` keeps every
+        #: topic cold and the hot path un-instrumented
+        self.sanitizer = None
+        if sanitize:
+            from ..lint.sanitizer import Sanitizer  # avoid an import cycle
+
+            self.sanitizer = Sanitizer()
+            self.bus.attach(self.sanitizer)
         self.engine = Engine()
         self.stats = TrafficStats(topology.num_clusters)
         self.bus.attach(self.stats)
@@ -232,34 +241,51 @@ class Machine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
         """Run until all non-daemon processes finish; returns finish time.
 
         Raises :class:`DeadlockError` if the event queue drains while main
-        processes are still blocked (a protocol bug in the application).
+        processes are still blocked (a protocol bug in the application);
+        with the sanitizer attached the error carries the wait-for-cycle
+        report.  ``max_events`` bounds this call's event budget: exceeding
+        it with work still pending raises :class:`TimeoutError` (used by
+        the protocol fuzz tests to guard against runaway schedules).
         """
         eng = self.engine
         if self._live_main > 0:
             # The engine runs flat out; _main_done stops it the moment the
             # last main process finishes (leaving daemon events queued).
-            eng.run(until=until)
+            eng.run(until=until, max_events=max_events)
             if self._live_main > 0:
-                # The engine returned on its own: it either drained or hit
-                # the horizon with main processes still blocked.
+                # The engine returned on its own: it either drained, hit
+                # the horizon, or exhausted the event budget with main
+                # processes still blocked.
                 if until is not None:
                     raise TimeoutError(
                         f"simulation exceeded until={until}s with "
                         f"{self._live_main} main processes still live"
                     )
+                if max_events is not None and eng.pending > 0:
+                    raise TimeoutError(
+                        f"simulation exceeded the {max_events}-event budget "
+                        f"with {self._live_main} main processes still live"
+                    )
                 blocked = [p.name for p in self._main_procs if not p.finished]
                 waiting = {
                     ep.rank: ep.waiting() for ep in self.endpoints if ep.waiting()
                 }
+                detail = ""
+                if self.sanitizer is not None:
+                    report = self.sanitizer.on_deadlock(self)
+                    detail = "\n" + report.render()
                 raise DeadlockError(
                     f"event queue drained with live processes {blocked}; "
-                    f"ranks blocked on tags: {waiting}"
+                    f"ranks blocked on tags: {waiting}{detail}"
                 )
         self.stats.mark_end(eng.now)
+        if self.sanitizer is not None and self._live_main == 0:
+            self.sanitizer.finish(self, drained=(eng.pending == 0))
         return eng.now
 
     @property

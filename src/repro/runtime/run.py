@@ -45,6 +45,7 @@ def run_spmd(
     until: Optional[float] = None,
     bus: Optional[ProbeBus] = None,
     report_meta: Optional[Dict[str, Any]] = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """Run ``main(ctx)`` on every rank of ``topology`` to completion.
 
@@ -58,13 +59,20 @@ def run_spmd(
     it.  When a run reporter is active (see
     :func:`repro.obs.report.active_reporter`), one JSON-lines record is
     emitted per run, tagged with ``report_meta``.
+
+    ``sanitize=True`` attaches the runtime protocol sanitizer
+    (:class:`repro.lint.Sanitizer`): FIFO/conservation/monotonicity
+    violations raise at run end, deadlocks get wait-for-cycle reports,
+    and leak findings land on ``result.machine.sanitizer.findings``.
+    Results are byte-identical with the sanitizer on or off.
     """
-    machine = Machine(topology, seed=seed, bus=bus)
+    machine = Machine(topology, seed=seed, bus=bus, sanitize=sanitize)
     for rank in topology.ranks():
         machine.spawn(rank, main, name=f"rank{rank}")
-    wall_start = time.perf_counter()
+    # Host wall-time measurement for reports, not simulated time.
+    wall_start = time.perf_counter()  # lint: ignore[wall-clock]
     machine.run(until=until)
-    wall = time.perf_counter() - wall_start
+    wall = time.perf_counter() - wall_start  # lint: ignore[wall-clock]
     result = RunResult(runtime=machine.runtime(), results=machine.results(),
                        machine=machine, wall_time=wall)
     reporter = active_reporter()

@@ -1,0 +1,123 @@
+"""CLI surface of ``python -m repro lint``: exit codes, formats, strict
+mode — plus the gate this repository holds itself to: linting the shipped
+sources in strict mode finds nothing.
+"""
+
+import json
+import pathlib
+import subprocess  # lint: ignore[blocking-call]
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = textwrap.dedent("""\
+    import time
+    import random
+
+    def body(ctx):
+        start = time.time()
+        yield ctx.compute(random.random())
+""")
+
+WARN_SOURCE = textwrap.dedent("""\
+    SHARED = {}
+
+    def body(ctx):
+        yield ctx.compute(1.0)
+        SHARED[ctx.rank] = ctx.now
+""")
+
+CLEAN_SOURCE = textwrap.dedent("""\
+    def body(ctx):
+        yield ctx.compute(1.0)
+""")
+
+
+@pytest.fixture()
+def snippet(tmp_path):
+    def write(source, name="snippet.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+    return write
+
+
+def test_errors_exit_nonzero(snippet, capsys):
+    assert main([snippet(BAD_SOURCE)]) == 1
+    out = capsys.readouterr()
+    assert "error[wall-clock]" in out.out
+    assert "error[global-rng]" in out.out
+    assert "2 error(s)" in out.err
+
+
+def test_clean_file_exits_zero(snippet, capsys):
+    assert main([snippet(CLEAN_SOURCE)]) == 0
+    out = capsys.readouterr()
+    assert out.out == ""
+    assert "0 error(s), 0 warning(s)" in out.err
+
+
+def test_warnings_pass_unless_strict(snippet):
+    path = snippet(WARN_SOURCE)
+    assert main([path]) == 0
+    assert main(["--strict", path]) == 1
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    # A path that is neither a Python file nor a directory is a usage
+    # error (exit 2); an unreadable .py becomes an io-error finding.
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "repro lint:" in capsys.readouterr().err
+    assert main([str(tmp_path / "nope.py")]) == 1
+    assert "io-error" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(snippet, capsys):
+    main(["--format", "json", snippet(BAD_SOURCE)])
+    findings = json.loads(capsys.readouterr().out)
+    assert {f["rule"] for f in findings} >= {"wall-clock", "global-rng"}
+    for f in findings:
+        assert set(f) >= {"file", "line", "col", "rule", "severity",
+                          "message"}
+        assert f["line"] > 0
+
+
+def test_github_format_emits_workflow_commands(snippet, capsys):
+    main(["--format", "github", snippet(BAD_SOURCE)])
+    out = capsys.readouterr().out
+    assert "::error file=" in out and "line=" in out
+
+
+def test_list_rules_covers_static_and_runtime(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("wall-clock", "set-iteration", "yield-non-syscall",
+                    "deadlock-cycle", "fifo-violation", "leaked-messages"):
+        assert rule_id in out
+
+
+def test_directory_walk_finds_nested_findings(tmp_path, capsys):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(BAD_SOURCE)
+    (tmp_path / "pkg" / "clean.py").write_text(CLEAN_SOURCE)
+    assert main([str(tmp_path / "pkg")]) == 1
+    assert "mod.py" in capsys.readouterr().out
+
+
+def test_shipped_sources_lint_clean_in_strict_mode():
+    """The repository gate: ``repro lint --strict src/repro examples``
+    over the shipped tree must exit 0 (same invocation as CI)."""
+    proc = subprocess.run(  # lint: ignore[blocking-call]
+        [sys.executable, "-m", "repro", "lint", "--strict",
+         "src/repro", "examples"],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 error(s), 0 warning(s)" in proc.stderr

@@ -1,0 +1,432 @@
+"""Per-rule positive/negative coverage for the static determinism lint.
+
+Every rule gets at least one snippet that must trigger it and one clean
+counterpart that must not; suppression comments and tag-shape matching
+get their own cases.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import RULES, STATIC_RULES, lint_source
+from repro.lint.static import shape_repr, shapes_unify, tag_shape, WILD
+
+
+def findings_for(src, rule=None):
+    found = lint_source(textwrap.dedent(src), "snippet.py")
+    if rule is None:
+        return found
+    return [f for f in found if f.rule == rule]
+
+
+def assert_clean(src, rule):
+    hits = findings_for(src, rule)
+    assert hits == [], [f.render() for f in hits]
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+def test_wall_clock_positive():
+    hits = findings_for("""
+        import time
+        def body(ctx):
+            start = time.time()
+            yield ctx.compute(1.0)
+    """, "wall-clock")
+    assert len(hits) == 1 and hits[0].line == 4
+    assert hits[0].severity == "error"
+
+
+def test_wall_clock_from_import_and_datetime():
+    assert findings_for("""
+        from time import perf_counter
+        from datetime import datetime
+        def f():
+            return perf_counter(), datetime.now()
+    """, "wall-clock")
+
+
+def test_wall_clock_negative_engine_time():
+    assert_clean("""
+        def body(ctx):
+            start = ctx.now
+            yield ctx.compute(1.0)
+    """, "wall-clock")
+
+
+def test_wall_clock_negative_unrelated_time_attr():
+    # A local object that happens to have a .time attribute is fine.
+    assert_clean("""
+        def f(event):
+            return event.time()
+    """, "wall-clock")
+
+
+# ----------------------------------------------------------------------
+# global-rng / unseeded-rng
+# ----------------------------------------------------------------------
+def test_global_rng_positive():
+    assert findings_for("""
+        import random
+        def pick(xs):
+            return random.choice(xs)
+    """, "global-rng")
+
+
+def test_global_rng_numpy_positive():
+    assert findings_for("""
+        import numpy as np
+        def noise(n):
+            return np.random.randn(n)
+    """, "global-rng")
+
+
+def test_global_rng_negative_seeded_stream():
+    assert_clean("""
+        from repro.sim.rng import make_rng
+        def pick(xs, seed):
+            rng = make_rng(seed, "picker")
+            return rng.choice(xs)
+    """, "global-rng")
+
+
+def test_unseeded_rng_positive():
+    assert findings_for("""
+        import random
+        def f():
+            return random.Random()
+    """, "unseeded-rng")
+
+
+def test_unseeded_rng_numpy_positive():
+    assert findings_for("""
+        import numpy as np
+        def f():
+            return np.random.default_rng()
+    """, "unseeded-rng")
+
+
+def test_unseeded_rng_negative_with_seed():
+    assert_clean("""
+        import random
+        import numpy as np
+        def f(seed):
+            return random.Random(seed), np.random.default_rng(seed)
+    """, "unseeded-rng")
+
+
+# ----------------------------------------------------------------------
+# set-iteration
+# ----------------------------------------------------------------------
+def test_set_iteration_positive_literal():
+    assert findings_for("""
+        def body(ctx):
+            for dst in {1, 2, 3}:
+                yield ctx.send(dst, 64, "t")
+    """, "set-iteration")
+
+
+def test_set_iteration_positive_tracked_local():
+    assert findings_for("""
+        def f(xs):
+            pending = set(xs)
+            return [x for x in pending]
+    """, "set-iteration")
+
+
+def test_set_iteration_positive_list_materialization():
+    assert findings_for("""
+        def f(xs):
+            return list(set(xs))
+    """, "set-iteration")
+
+
+def test_set_iteration_negative_sorted():
+    assert_clean("""
+        def body(ctx):
+            for dst in sorted({3, 1, 2}):
+                yield ctx.send(dst, 64, "t")
+            clusters = sorted({x % 4 for x in range(9)})
+            for c in clusters:
+                yield ctx.compute(0.0)
+    """, "set-iteration")
+
+
+def test_set_iteration_negative_rebound_local():
+    # The local stops being a set once reassigned to a sorted list.
+    assert_clean("""
+        def f(xs):
+            pending = set(xs)
+            pending = sorted(pending)
+            return [x for x in pending]
+    """, "set-iteration")
+
+
+# ----------------------------------------------------------------------
+# dict-view-order
+# ----------------------------------------------------------------------
+def test_dict_view_order_positive():
+    assert findings_for("""
+        def body(ctx):
+            got = {}
+            while len(got) < 4:
+                msg = yield ctx.recv("in")
+                got[msg.src] = msg.payload
+            for src, val in got.items():
+                yield ctx.send(src, 64, "out", payload=val)
+    """, "dict-view-order")
+
+
+def test_dict_view_order_negative_no_emission():
+    assert_clean("""
+        def body(ctx):
+            got = {"a": 1}
+            total = 0
+            for key, val in got.items():
+                total += val
+            yield ctx.compute(total)
+    """, "dict-view-order")
+
+
+def test_dict_view_order_negative_outside_coroutine():
+    assert_clean("""
+        def summarize(stats):
+            return {k: v for k, v in stats.items()}
+    """, "dict-view-order")
+
+
+# ----------------------------------------------------------------------
+# id-keyed
+# ----------------------------------------------------------------------
+def test_id_keyed_positive_subscript():
+    assert findings_for("""
+        def track(cache, obj):
+            cache[id(obj)] = obj
+    """, "id-keyed")
+
+
+def test_id_keyed_positive_method():
+    assert findings_for("""
+        def track(seen, obj):
+            seen.add(id(obj))
+    """, "id-keyed")
+
+
+def test_id_keyed_negative():
+    assert_clean("""
+        def track(cache, obj):
+            cache[obj.name] = obj
+    """, "id-keyed")
+
+
+# ----------------------------------------------------------------------
+# yield-non-syscall
+# ----------------------------------------------------------------------
+def test_yield_non_syscall_positive():
+    hits = findings_for("""
+        def body(ctx):
+            yield 1
+            yield
+            yield "done"
+    """, "yield-non-syscall")
+    assert len(hits) == 3
+
+
+def test_yield_non_syscall_negative():
+    assert_clean("""
+        def sub(ctx):
+            yield ctx.compute(1.0)
+
+        def body(ctx):
+            yield ctx.send(0, 64, "t")
+            msg = yield ctx.recv("t")
+            yield from sub(ctx)
+    """, "yield-non-syscall")
+
+
+def test_yield_non_syscall_ignores_plain_generators():
+    # A generator without a ctx parameter is not a process coroutine.
+    assert_clean("""
+        def naturals(n):
+            for i in range(n):
+                yield i
+    """, "yield-non-syscall")
+
+
+# ----------------------------------------------------------------------
+# blocking-call
+# ----------------------------------------------------------------------
+def test_blocking_call_positive_sleep():
+    assert findings_for("""
+        import time
+        def body(ctx):
+            time.sleep(0.1)
+            yield ctx.compute(0.1)
+    """, "blocking-call")
+
+
+def test_blocking_call_positive_socket():
+    assert findings_for("""
+        import socket
+        def connect():
+            return socket.create_connection(("host", 80))
+    """, "blocking-call")
+
+
+def test_blocking_call_negative():
+    assert_clean("""
+        def body(ctx):
+            yield ctx.compute(0.1)
+    """, "blocking-call")
+
+
+# ----------------------------------------------------------------------
+# recv-unmatched
+# ----------------------------------------------------------------------
+def test_recv_unmatched_positive():
+    hits = findings_for("""
+        def body(ctx):
+            yield ctx.send(1, 64, ("work", 0))
+            msg = yield ctx.recv(("result", 0))
+    """, "recv-unmatched")
+    assert len(hits) == 1
+    assert "result" in hits[0].message
+
+
+def test_recv_unmatched_negative_same_shape():
+    assert_clean("""
+        def body(ctx):
+            for i in range(4):
+                yield ctx.send(1, 64, ("work", i))
+            msg = yield ctx.recv(("work", 2))
+    """, "recv-unmatched")
+
+
+def test_recv_unmatched_negative_dynamic_tag():
+    # A fully dynamic recv tag cannot be checked and must not warn.
+    assert_clean("""
+        def body(ctx, tag):
+            msg = yield ctx.recv(tag)
+    """, "recv-unmatched")
+
+
+def test_recv_unmatched_matches_multicast_send():
+    assert_clean("""
+        def body(ctx):
+            if ctx.rank == 0:
+                yield ctx.multicast([1, 2], 64, ("mc", 7))
+            else:
+                msg = yield ctx.recv(("mc", 7))
+    """, "recv-unmatched")
+
+
+# ----------------------------------------------------------------------
+# module-state
+# ----------------------------------------------------------------------
+def test_module_state_positive():
+    hits = findings_for("""
+        RESULTS = {}
+
+        def body(ctx):
+            yield ctx.compute(1.0)
+            RESULTS[ctx.rank] = ctx.now
+    """, "module-state")
+    assert len(hits) == 1
+
+
+def test_module_state_negative_local_state():
+    assert_clean("""
+        def body(ctx):
+            results = {}
+            yield ctx.compute(1.0)
+            results[ctx.rank] = ctx.now
+    """, "module-state")
+
+
+def test_module_state_negative_import_time_registry():
+    # Mutation outside any coroutine (an import-time registry) is fine.
+    assert_clean("""
+        REGISTRY = {}
+
+        def register(name, fn):
+            REGISTRY[name] = fn
+    """, "module-state")
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_suppression_same_line():
+    assert_clean("""
+        import time
+        def f():
+            return time.time()  # lint: ignore[wall-clock]
+    """, "wall-clock")
+
+
+def test_suppression_line_above():
+    assert_clean("""
+        import time
+        def f():
+            # lint: ignore[wall-clock]
+            return time.time()
+    """, "wall-clock")
+
+
+def test_suppression_is_rule_specific():
+    # Suppressing one rule must not hide another on the same line.
+    src = """
+        import time, random
+        def f():
+            return time.time(), random.random()  # lint: ignore[wall-clock]
+    """
+    assert findings_for(src, "global-rng")
+    assert not findings_for(src, "wall-clock")
+
+
+def test_suppression_bare_ignores_all():
+    assert_clean("""
+        import time
+        def f():
+            return time.time()  # lint: ignore
+    """, "wall-clock")
+
+
+def test_skip_file():
+    assert findings_for("""
+        # lint: skip-file
+        import time
+        def f():
+            return time.time()
+    """) == []
+
+
+def test_syntax_error_is_reported():
+    hits = findings_for("def broken(:\n    pass\n")
+    assert len(hits) == 1 and hits[0].rule == "syntax-error"
+
+
+# ----------------------------------------------------------------------
+# tag shapes
+# ----------------------------------------------------------------------
+def test_tag_shapes_unify():
+    import ast
+
+    def shape_of(expr):
+        return tag_shape(ast.parse(expr, mode="eval").body)
+
+    work = shape_of('("work", i)')
+    assert shapes_unify(work, shape_of('("work", 3)'))
+    assert not shapes_unify(work, shape_of('("result", 3)'))
+    assert not shapes_unify(shape_of('("a", 1, 2)'), shape_of('("a", 1)'))
+    assert shapes_unify(WILD, shape_of('"anything"'))
+    assert shape_repr(work) == "('work', *)"
+
+
+def test_rule_catalogue_is_consistent():
+    for rule in STATIC_RULES:
+        assert rule.kind == "static"
+        assert RULES[rule.id] is rule
+        assert rule.severity in ("error", "warning")

@@ -3,6 +3,12 @@
 Random matched communication schedules must never deadlock, must conserve
 messages, and must preserve FIFO order per (sender, receiver, tag) path —
 the invariants every runtime protocol in this repository builds on.
+
+The mismatched-schedule tests then break those schedules on purpose —
+dropping the receives of some paths (orphan sends) or the sends (starved
+receivers) — and assert the ``repro.lint`` sanitizer turns each defect
+into a structured leak or deadlock report instead of a hang; every run is
+guarded by an explicit event budget.
 """
 
 from collections import defaultdict
@@ -13,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro.network import Topology, das_topology, myrinet, wan
 from repro.runtime import Machine
+from repro.runtime.machine import DeadlockError
 
 # A schedule is a list of (src, dst, count) triples; each generates
 # `count` sends from src to dst under tag (src, dst), matched by receives.
@@ -104,6 +111,104 @@ def test_conservation_under_wan_jitter(flows, jitter_cv, seed):
     machine.run()
     assert sum(len(v) for v in received.values()) == \
         sum(count for _, _, count in flows)
+
+
+def split_paths(per_path, drop_seed):
+    """Deterministically pick a non-empty subset of paths to sabotage."""
+    paths = sorted(per_path)
+    dropped = [p for i, p in enumerate(paths) if (drop_seed >> i) & 1]
+    if not dropped:
+        dropped = [paths[drop_seed % len(paths)]]
+    return dropped
+
+
+@settings(max_examples=20, deadline=None)
+@given(flows=schedules, topo_seed=st.integers(0, 3),
+       drop_seed=st.integers(0, 4095))
+def test_orphan_sends_reported_as_channel_leaks(flows, topo_seed, drop_seed):
+    """Dropping the receives of some paths must not hang or corrupt the
+    run: it completes, and the sanitizer names every sabotaged channel in
+    a leaked-messages finding (in flight or sitting in a mailbox)."""
+    topo = topo_for(topo_seed)
+    per_path = defaultdict(int)
+    for src, dst, count in flows:
+        per_path[(src, dst)] += count
+    dropped = set(split_paths(per_path, drop_seed))
+
+    sends_by_rank = defaultdict(list)
+    recvs_by_rank = defaultdict(list)
+    for (src, dst), count in per_path.items():
+        for i in range(count):
+            sends_by_rank[src].append((dst, (src, dst), i))
+            if (src, dst) not in dropped:
+                recvs_by_rank[dst].append((src, dst))
+
+    machine = Machine(topo, sanitize=True)
+
+    def make_body(rank):
+        def body(ctx):
+            for dst, tag, i in sends_by_rank[rank]:
+                yield ctx.send(dst, 64, ("flow", tag), payload=i)
+            for tag in recvs_by_rank[rank]:
+                yield ctx.recv(("flow", tag))
+        return body
+
+    for r in topo.ranks():
+        machine.spawn(r, make_body(r))
+    machine.run(max_events=200_000)  # leaks are warnings: must not raise
+
+    leaks = machine.sanitizer.leaks()
+    assert leaks, "sabotaged schedule produced no leak findings"
+    leak_text = "\n".join(f.message for f in leaks)
+    for path in dropped:
+        assert repr(("flow", path)) in leak_text, path
+    for path in set(per_path) - dropped:
+        assert repr(("flow", path)) not in leak_text, path
+
+
+@settings(max_examples=20, deadline=None)
+@given(flows=schedules, topo_seed=st.integers(0, 3),
+       drop_seed=st.integers(0, 4095))
+def test_starved_receivers_reported_as_deadlock(flows, topo_seed, drop_seed):
+    """Dropping the sends of some paths leaves their receivers blocked
+    forever: the run must end in a DeadlockError (never a hang — the
+    event budget guards that) and the sanitizer's blocked report must
+    name only sabotaged channels."""
+    topo = topo_for(topo_seed)
+    per_path = defaultdict(int)
+    for src, dst, count in flows:
+        per_path[(src, dst)] += count
+    dropped = set(split_paths(per_path, drop_seed))
+
+    sends_by_rank = defaultdict(list)
+    recvs_by_rank = defaultdict(list)
+    for (src, dst), count in per_path.items():
+        for i in range(count):
+            if (src, dst) not in dropped:
+                sends_by_rank[src].append((dst, (src, dst), i))
+            recvs_by_rank[dst].append((src, dst))
+
+    machine = Machine(topo, sanitize=True)
+
+    def make_body(rank):
+        def body(ctx):
+            for dst, tag, i in sends_by_rank[rank]:
+                yield ctx.send(dst, 64, ("flow", tag), payload=i)
+            for tag in recvs_by_rank[rank]:
+                yield ctx.recv(("flow", tag))
+        return body
+
+    for r in topo.ranks():
+        machine.spawn(r, make_body(r))
+    with pytest.raises(DeadlockError):
+        machine.run(max_events=200_000)
+
+    report = machine.sanitizer.deadlock_report
+    assert report is not None and report.blocked
+    starved_tags = {("flow", path) for path in dropped}
+    blocked_tags = {e["tag"] for e in report.blocked if e["tag"] is not None}
+    assert blocked_tags, report.blocked
+    assert blocked_tags <= starved_tags, (blocked_tags, starved_tags)
 
 
 @settings(max_examples=20, deadline=None)
