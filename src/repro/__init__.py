@@ -9,18 +9,23 @@ The package layers:
 - :mod:`repro.runtime` — Panda/Orca-like messaging and coordination.
 - :mod:`repro.magpie` — flat vs. wide-area-optimized MPI collectives.
 - :mod:`repro.apps` — the six applications, unoptimized and optimized.
+- :mod:`repro.faults` — deterministic WAN fault injection + reliable transport.
 - :mod:`repro.experiments` — harnesses regenerating every table/figure.
 """
 
 __version__ = "1.0.0"
 
+from .faults import FaultPlan, TransportConfig
 from .network import Topology, das_topology, myrinet, single_cluster, wan
 from .obs import (MetricsCollector, MetricsRegistry, PerfettoTrace, ProbeBus,
                   RunReporter)
-from .runtime import Context, Machine, RunResult, run_spmd
+from .runtime import Context, Machine, RunResult, TransportError, run_spmd
 from .trace import Tracer, render_timeline
 
 __all__ = [
+    "FaultPlan",
+    "TransportConfig",
+    "TransportError",
     "Topology",
     "das_topology",
     "myrinet",

@@ -13,6 +13,7 @@ from .experiments import (
     bench,
     breakdown,
     clusters,
+    degraded,
     export,
     figure1,
     figure3,
@@ -23,6 +24,7 @@ from .experiments import (
     variability,
 )
 from .experiments import cache as cache_cli
+from .faults import cli as chaos_cli
 from .lint import cli as lint_cli
 from .obs import cli as trace_cli
 from .whatif import cli as whatif_cli
@@ -45,6 +47,8 @@ COMMANDS = {
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
     "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),
     "lint": (lint_cli.main, "Static determinism/protocol lint over app modules"),
+    "chaos": (chaos_cli.main, "Run one app under an injected WAN fault plan"),
+    "degraded": (degraded.main, "Figure 3 re-run under fixed WAN loss rates"),
 }
 
 

@@ -87,16 +87,21 @@ def run_app(
     until: Optional[float] = None,
     bus: Any = None,
     sanitize: bool = False,
+    faults: Any = None,
+    max_events: Optional[int] = None,
 ) -> RunResult:
     """Build and run one application variant on ``topology``.
 
     ``bus`` (a prepared :class:`~repro.obs.bus.ProbeBus`) instruments the
     run; active run reporters receive a record tagged with app/variant.
     ``sanitize=True`` attaches the runtime protocol sanitizer.
+    ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) injects WAN
+    faults and enables the reliable transport; ``max_events`` bounds the
+    engine event budget (used by the chaos tests to rule out hangs).
     """
     if config is None:
         config = default_config(name, scale)
     main = get_builder(name, variant)(config)
     return run_spmd(topology, main, seed=seed, until=until, bus=bus,
-                    sanitize=sanitize,
+                    sanitize=sanitize, faults=faults, max_events=max_events,
                     report_meta={"app": name, "variant": variant})

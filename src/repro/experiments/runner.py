@@ -26,6 +26,15 @@ Three orthogonal accelerators (all off by default):
 ``cache=SimCache(...)``
     Memoize every ground-truth runtime on disk; see
     :mod:`repro.experiments.cache`.
+
+``faults=FaultPlan(...)``
+    Inject the plan's WAN faults into every *multi-cluster* run (the
+    all-Myrinet baseline stays clean — relative speedups then read as
+    "degraded WAN vs. ideal LAN", mirroring the paper's T_L / T_M).  A
+    fault-bearing sweep disables all three accelerators for the faulty
+    runs: the what-if predictor falls back (recorded DAGs do not model
+    loss or retransmission), the on-disk cache is bypassed (its key does
+    not include the plan), and grid points run serially.
 """
 
 from __future__ import annotations
@@ -110,7 +119,8 @@ class Sweeper:
                  predict: bool = False,
                  workers: Optional[int] = None,
                  cache: Optional[SimCache] = None,
-                 tolerance_pp: float = 5.0) -> None:
+                 tolerance_pp: float = 5.0,
+                 faults=None) -> None:
         self.scale = scale
         self.seed = seed
         self.reporter = reporter
@@ -118,15 +128,26 @@ class Sweeper:
         self.workers = workers
         self.cache = cache
         self.tolerance_pp = tolerance_pp
+        self.faults = faults
         self._baseline_cache: Dict[Tuple[str, str, int], float] = {}
         #: (app, variant, clusters, cluster_size, wan_shape) ->
         #: (predictor-or-None, ValidationReport-or-None)
         self._predictors: Dict[tuple, tuple] = {}
 
+    @property
+    def _active_faults(self):
+        """The sweep's :class:`FaultPlan` when it changes runs, else None."""
+        plan = self.faults
+        if plan is not None and plan.active:
+            return plan
+        return None
+
     # ------------------------------------------------------------------
-    def run_on(self, app: str, variant: str, topo: Topology) -> RunResult:
+    def run_on(self, app: str, variant: str, topo: Topology,
+               faults=None) -> RunResult:
         config = default_config(app, self.scale)
-        result = run_app(app, variant, topo, config=config, seed=self.seed)
+        result = run_app(app, variant, topo, config=config, seed=self.seed,
+                         faults=faults)
         if self.reporter is not None:
             self.reporter.emit(run_record(
                 result.machine, result.runtime, result.wall_time,
@@ -134,14 +155,20 @@ class Sweeper:
                       "harness": "sweeper"}))
         return result
 
-    def _sim_runtime(self, app: str, variant: str, topo: Topology) -> float:
-        """Ground-truth runtime for one point, via the on-disk cache."""
-        if self.cache is not None:
+    def _sim_runtime(self, app: str, variant: str, topo: Topology,
+                     faults=None) -> float:
+        """Ground-truth runtime for one point, via the on-disk cache.
+
+        Fault-bearing runs bypass the cache entirely — its key does not
+        encode the plan, so a hit from (or a store into) a clean sweep
+        would silently mix clean and degraded runtimes.
+        """
+        if faults is None and self.cache is not None:
             hit = self.cache.get(app, variant, self.scale, self.seed, topo)
             if hit is not None:
                 return hit
-        runtime = self.run_on(app, variant, topo).runtime
-        if self.cache is not None:
+        runtime = self.run_on(app, variant, topo, faults=faults).runtime
+        if faults is None and self.cache is not None:
             self.cache.put(app, variant, self.scale, self.seed, topo, runtime)
         return runtime
 
@@ -170,10 +197,20 @@ class Sweeper:
         """
         from ..whatif.evaluate import Evaluator
         from ..whatif.record import record_app
-        from ..whatif.validate import corner_points, validate
+        from ..whatif.validate import ValidationReport, corner_points, validate
 
         memo_key = (app, variant, clusters, cluster_size, wan_shape)
         if memo_key in self._predictors:
+            return self._predictors[memo_key]
+
+        if self._active_faults is not None:
+            report = ValidationReport(
+                app=app, variant=variant, tolerance_pp=self.tolerance_pp,
+                fallback=True,
+                reason="fault injection active: recorded DAGs do not model "
+                       "loss, outages, or retransmission; simulating every "
+                       "grid point")
+            self._predictors[memo_key] = (None, report)
             return self._predictors[memo_key]
 
         def topology_for(bw: float, lat: float) -> Topology:
@@ -223,7 +260,8 @@ class Sweeper:
         if runtime is None:
             topo = grids.multi_cluster(bandwidth, latency_ms, clusters,
                                        cluster_size, wan_shape)
-            runtime = self._sim_runtime(app, variant, topo)
+            runtime = self._sim_runtime(app, variant, topo,
+                                        faults=self._active_faults)
         return GridPoint(
             bandwidth_mbyte_s=bandwidth,
             latency_ms=latency_ms,
@@ -239,9 +277,12 @@ class Sweeper:
         The parallel path checks the on-disk cache up front, fans the
         misses out to a process pool, and merges in the serial iteration
         order — the resulting dict is identical to a serial sweep's.
+        Fault-bearing sweeps always run serially (the pool payload does
+        not carry the plan) and never touch the cache.
         """
+        faults = self._active_faults
         runtimes: Dict[Tuple[float, float], Optional[float]] = {}
-        if self.workers and self.workers > 1:
+        if self.workers and self.workers > 1 and faults is None:
             from concurrent.futures import ProcessPoolExecutor
 
             misses: List[Tuple[float, float]] = []
@@ -267,7 +308,7 @@ class Sweeper:
         else:
             for bw, lat in points:
                 runtimes[(bw, lat)] = self._sim_runtime(
-                    app, variant, grids.multi_cluster(bw, lat))
+                    app, variant, grids.multi_cluster(bw, lat), faults=faults)
         return runtimes
 
     def speedup_grid(self, app: str, variant: str,

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the two-layer interconnect.
+
+Declare *what goes wrong* as a :class:`FaultPlan` (packet loss, latency
+bursts, link outages, gateway crash-and-recover, all on the WAN layer),
+hand it to ``Machine``/``run_spmd``/``run_app`` via ``faults=``, and the
+run replays bit-identically per seed — every injected event published on
+the probe bus's ``fault_*`` topics, every loss survived by the reliable
+transport in :mod:`repro.runtime.transport` unless the plan turns it
+off.  See docs/faults.md.
+"""
+
+from .inject import FaultInjector, LinkFaultState
+from .plan import (ALL_WAN, FaultPlan, GatewayCrash, LatencyBurst, Outage,
+                   PacketLoss, TransportConfig)
+
+__all__ = [
+    "ALL_WAN",
+    "FaultInjector",
+    "FaultPlan",
+    "GatewayCrash",
+    "LatencyBurst",
+    "LinkFaultState",
+    "Outage",
+    "PacketLoss",
+    "TransportConfig",
+]

@@ -1,0 +1,231 @@
+"""Declarative fault schedules for the two-layer interconnect.
+
+A :class:`FaultPlan` describes, ahead of a run, every imperfection the
+WAN layer should exhibit — packet loss, latency spikes/jitter bursts,
+link outages, gateway crash-and-recover windows — plus the reliable
+transport (:class:`TransportConfig`) that lets applications complete in
+spite of them.  Plans are plain frozen data: the same plan compiled
+against the same seed produces bit-identical runs (see docs/faults.md
+for the determinism contract).
+
+Directives select WAN links by ``fnmatch`` pattern against the router's
+link names (``"wan0->1"``, ``"wan*"``, ``"wan2->*"``); gateway crashes
+select a cluster id.  Only the wide-area layer is fault-prone — the
+paper's premise is that the local Myrinet is reliable and the WAN is the
+weak layer — so intra-cluster NIC hops never drop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+#: Matches every WAN link.
+ALL_WAN = "wan*"
+
+
+def _check_window(start: float, duration: float, what: str) -> None:
+    if start < 0 or math.isnan(start):
+        raise ValueError(f"{what}: negative or NaN start {start!r}")
+    if duration <= 0 or math.isnan(duration):
+        raise ValueError(f"{what}: duration must be positive, got {duration!r}")
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Independent per-message drop probability on matching WAN links."""
+
+    link: str = ALL_WAN
+    probability: float = 0.01
+    start: float = 0.0
+    duration: float = math.inf
+
+    def validate(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"PacketLoss({self.link!r}): probability must be in [0, 1], "
+                f"got {self.probability!r}")
+        _check_window(self.start, self.duration, f"PacketLoss({self.link!r})")
+
+
+@dataclass(frozen=True)
+class LatencyBurst:
+    """A window in which matching WAN links run slow and/or jittery.
+
+    While active, each transfer's propagation latency becomes
+    ``latency * factor + extra`` seconds, optionally multiplied by a
+    per-message lognormal jitter sample with coefficient of variation
+    ``jitter_cv`` (drawn from the link's seeded fault stream).
+    """
+
+    link: str = ALL_WAN
+    start: float = 0.0
+    duration: float = math.inf
+    factor: float = 1.0
+    extra: float = 0.0
+    jitter_cv: float = 0.0
+
+    def validate(self) -> None:
+        what = f"LatencyBurst({self.link!r})"
+        _check_window(self.start, self.duration, what)
+        if self.factor < 0 or self.extra < 0 or self.jitter_cv < 0:
+            raise ValueError(f"{what}: factor/extra/jitter_cv must be >= 0")
+        if self.factor == 1.0 and self.extra == 0.0 and self.jitter_cv == 0.0:
+            raise ValueError(f"{what}: burst has no effect "
+                             f"(factor=1, extra=0, jitter_cv=0)")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A window in which matching WAN links drop every message."""
+
+    link: str = ALL_WAN
+    start: float = 0.0
+    duration: float = math.inf
+
+    def validate(self) -> None:
+        _check_window(self.start, self.duration, f"Outage({self.link!r})")
+
+
+@dataclass(frozen=True)
+class GatewayCrash:
+    """A window in which one cluster's gateway machine is down.
+
+    While crashed, the gateway forwards nothing: messages arriving at it
+    — outbound from its cluster or inbound to it — are dropped.
+    """
+
+    cluster: int = 0
+    start: float = 0.0
+    duration: float = math.inf
+
+    def validate(self) -> None:
+        if self.cluster < 0:
+            raise ValueError(f"GatewayCrash: negative cluster {self.cluster}")
+        _check_window(self.start, self.duration,
+                      f"GatewayCrash(cluster={self.cluster})")
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Timeout/retransmit/ack parameters of the reliable WAN transport.
+
+    The retransmission timeout for a message is
+    ``max(min_rto, rto_factor * uncontended_rtt)`` where the RTT is the
+    analytic no-queueing round trip of the data plus its ack; each
+    retry multiplies the timeout by ``backoff``.  ``max_retries``
+    retransmissions without an ack raise
+    :class:`~repro.runtime.transport.TransportError`.
+    """
+
+    max_retries: int = 10
+    rto_factor: float = 3.0
+    min_rto: float = 1e-3
+    backoff: float = 2.0
+    ack_bytes: int = 64
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.rto_factor <= 0 or self.min_rto <= 0:
+            raise ValueError("rto_factor and min_rto must be positive")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.ack_bytes <= 0:
+            raise ValueError(f"ack_bytes must be positive, got {self.ack_bytes}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, declarative fault schedule for one run.
+
+    ``transport`` defaults to an enabled :class:`TransportConfig` so that
+    lossy runs complete; pass ``transport=None`` to study the unprotected
+    runtime (losses then surface as :class:`~repro.runtime.DeadlockError`).
+    A plan with no fault directives but a transport config is valid — it
+    enables the reliable transport on a clean network.
+    """
+
+    loss: Tuple[PacketLoss, ...] = ()
+    bursts: Tuple[LatencyBurst, ...] = ()
+    outages: Tuple[Outage, ...] = ()
+    crashes: Tuple[GatewayCrash, ...] = ()
+    transport: Optional[TransportConfig] = field(default_factory=TransportConfig)
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store tuples so plans hash/compare.
+        for name in ("loss", "bursts", "outages", "crashes"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        self.validate()
+
+    def validate(self) -> None:
+        for directive in self.loss + self.bursts + self.outages + self.crashes:
+            directive.validate()
+        if self.transport is not None:
+            self.transport.validate()
+
+    @property
+    def has_faults(self) -> bool:
+        """True when any injection directive is present."""
+        return bool(self.loss or self.bursts or self.outages or self.crashes)
+
+    @property
+    def active(self) -> bool:
+        """True when the plan changes the run at all (faults or transport)."""
+        return self.has_faults or self.transport is not None
+
+    def without_transport(self) -> "FaultPlan":
+        return replace(self, transport=None)
+
+    def describe(self) -> List[str]:
+        """Human-readable one-liners, stable order, for CLIs and reports."""
+        lines = []
+        for d in self.loss:
+            lines.append(f"loss {d.probability:g} on {d.link} "
+                         f"[{d.start:g}s, +{d.duration:g}s)")
+        for d in self.bursts:
+            lines.append(f"latency burst x{d.factor:g}+{d.extra:g}s "
+                         f"(jitter_cv={d.jitter_cv:g}) on {d.link} "
+                         f"[{d.start:g}s, +{d.duration:g}s)")
+        for d in self.outages:
+            lines.append(f"outage on {d.link} [{d.start:g}s, +{d.duration:g}s)")
+        for d in self.crashes:
+            lines.append(f"gateway crash on cluster {d.cluster} "
+                         f"[{d.start:g}s, +{d.duration:g}s)")
+        lines.append("reliable transport: "
+                     + ("off" if self.transport is None else
+                        f"max_retries={self.transport.max_retries}, "
+                        f"rto_factor={self.transport.rto_factor:g}, "
+                        f"backoff={self.transport.backoff:g}"))
+        return lines
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def wan_loss(probability: float,
+                 transport: Optional[TransportConfig] = None) -> "FaultPlan":
+        """Uniform packet loss on every WAN link, reliable transport on."""
+        return FaultPlan(
+            loss=(PacketLoss(link=ALL_WAN, probability=probability),),
+            transport=transport if transport is not None else TransportConfig())
+
+    @staticmethod
+    def reliable_only(config: Optional[TransportConfig] = None) -> "FaultPlan":
+        """No injected faults; just enable the reliable WAN transport."""
+        return FaultPlan(
+            transport=config if config is not None else TransportConfig())
+
+
+__all__ = [
+    "ALL_WAN",
+    "FaultPlan",
+    "GatewayCrash",
+    "LatencyBurst",
+    "Outage",
+    "PacketLoss",
+    "TransportConfig",
+]

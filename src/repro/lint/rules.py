@@ -75,6 +75,9 @@ RUNTIME_RULES = (
          "runtime"),
     Rule("time-regression", ERROR,
          "engine time moved backwards between observed events", "runtime"),
+    Rule("phantom-drop", ERROR,
+         "an injected fault drop was reported for a message no observed "
+         "send covers", "runtime"),
 )
 
 RULES: Dict[str, Rule] = {r.id: r for r in STATIC_RULES + RUNTIME_RULES}

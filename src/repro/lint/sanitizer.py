@@ -34,13 +34,25 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..obs.events import DeliverEvent, OpEvent, SendEvent
+from ..obs.events import DeliverEvent, FaultDropEvent, OpEvent, SendEvent
 from .rules import Finding, make_finding
 
 #: Relative tolerance when matching a delivery back to its send time.
 _TIME_EPS = 1e-9
 
 Channel = Tuple[int, int, Any]  # (src, dst, tag)
+
+#: Tag heads of the reliable transport's wire channels.  Their messages
+#: are conservation-checked like any other, but (a) retransmitted
+#: attempts may legally overtake each other on a jittery wire, so the
+#: strict FIFO check is replaced by exact send-time matching, and (b)
+#: acks/duplicates still in flight when the run stops are protocol
+#: residue, not application leaks.
+_TRANSPORT_HEADS = ("_rt", "_rt-ack")
+
+
+def _is_transport_tag(tag: Any) -> bool:
+    return isinstance(tag, tuple) and bool(tag) and tag[0] in _TRANSPORT_HEADS
 
 
 class SanitizerError(RuntimeError):
@@ -111,6 +123,8 @@ class Sanitizer:
         self._send_fifo: Dict[Channel, deque] = {}
         self._sent: Dict[Channel, int] = {}
         self._delivered: Dict[Channel, int] = {}
+        #: messages eaten by injected faults, per channel
+        self._dropped: Dict[Channel, int] = {}
         #: consumed message count per (rank, tag) — recv_done + poll hits
         self._consumed: Dict[Tuple[int, Any], int] = {}
         #: historical senders per (dst_rank, tag) — the wait-for edges
@@ -147,8 +161,19 @@ class Sanitizer:
                 f"delivery on channel {chan!r} at t={ev.time:.9f} with no "
                 f"outstanding send"))
             return
-        expected = fifo.popleft()
         actual = ev.time - ev.latency  # the delivered message's send time
+        if _is_transport_tag(ev.tag):
+            # Transport wire channel: a retransmission may overtake an
+            # earlier attempt on a jittery link, so match the delivery to
+            # *its* send instead of demanding FIFO order (the app-facing
+            # FIFO is enforced by the transport's in-order release).
+            if not self._remove_send(fifo, actual):
+                self.findings.append(make_finding(
+                    "deliver-without-send",
+                    f"transport channel {chan!r}: delivery at "
+                    f"t={ev.time:.9f} matches no outstanding send"))
+            return
+        expected = fifo.popleft()
         tol = _TIME_EPS * max(1.0, abs(expected))
         if abs(actual - expected) > tol:
             self.findings.append(make_finding(
@@ -156,6 +181,29 @@ class Sanitizer:
                 f"channel {chan!r}: delivered message sent at "
                 f"t={actual:.9f} but the oldest outstanding send departed "
                 f"at t={expected:.9f} — per-channel FIFO order broken"))
+
+    def on_fault_drop(self, ev: FaultDropEvent) -> None:
+        # ev.time may sit ahead of engine-now events (drops are decided at
+        # wire-entry time, like send depart times), so no monotonic check.
+        chan = (ev.src, ev.dst, ev.tag)
+        self._dropped[chan] = self._dropped.get(chan, 0) + 1
+        fifo = self._send_fifo.get(chan)
+        if fifo is None or not self._remove_send(fifo, ev.send_time):
+            self.findings.append(make_finding(
+                "phantom-drop",
+                f"channel {chan!r}: fault drop on {ev.link} at "
+                f"t={ev.time:.9f} matches no outstanding send"))
+
+    @staticmethod
+    def _remove_send(fifo: deque, send_time: float) -> bool:
+        """Remove the outstanding send matching ``send_time`` (within the
+        float-matching tolerance); False when none matches."""
+        tol = _TIME_EPS * max(1.0, abs(send_time))
+        for entry in fifo:
+            if abs(entry - send_time) <= tol:
+                fifo.remove(entry)
+                return True
+        return False
 
     def on_op(self, ev: OpEvent) -> None:
         self._check_monotonic(ev.time)
@@ -191,10 +239,20 @@ class Sanitizer:
     # End-of-run checks (called by Machine.run)
     # ------------------------------------------------------------------
     def finish(self, machine, drained: bool) -> None:
-        """Conservation + leak accounting; raises on error findings."""
+        """Conservation + leak accounting; raises on error findings.
+
+        Injected fault drops are part of the conservation balance: a sent
+        message must be delivered *or* dropped.  Transport wire channels
+        with traffic still in flight at a stopped (not drained) run end
+        are protocol residue — trailing acks, a retransmit racing its ack
+        — and are not reported as leaks.
+        """
         for chan, sent in sorted(self._sent.items(), key=repr):
-            in_flight = sent - self._delivered.get(chan, 0)
+            in_flight = (sent - self._delivered.get(chan, 0)
+                         - self._dropped.get(chan, 0))
             if in_flight <= 0:
+                continue
+            if not drained and _is_transport_tag(chan[2]):
                 continue
             if drained:
                 # The queue is empty, so the delivery event can never run:
@@ -215,6 +273,13 @@ class Sanitizer:
                     "leaked-messages",
                     f"rank {endpoint.rank}, tag {tag!r}: {count} message(s) "
                     f"delivered but never received by any process"))
+        transport = getattr(machine, "transport", None)
+        if transport is not None and transport.buffered():
+            self.findings.append(make_finding(
+                "leaked-messages",
+                f"reliable transport: {transport.buffered()} data message(s) "
+                f"held for in-order release when the run ended (a flow "
+                f"stopped with a sequence gap ahead of them)"))
         errors = [f for f in self.findings if f.severity == "error"]
         if errors:
             raise SanitizerError(errors)

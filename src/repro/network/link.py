@@ -83,7 +83,7 @@ class Link:
     """
 
     __slots__ = ("name", "spec", "_next_free", "_bandwidth", "_latency",
-                 "stats", "noise", "bus")
+                 "stats", "noise", "bus", "faults")
 
     def __init__(self, name: str, spec: LinkSpec, noise=None, bus=None) -> None:
         self.name = name
@@ -99,6 +99,9 @@ class Link:
         #: optional :class:`~repro.obs.bus.ProbeBus` receiving "queue"
         #: events (one per transfer, carrying the queueing delay)
         self.bus = bus
+        #: optional :class:`~repro.faults.inject.LinkFaultState` applying
+        #: latency-burst windows; set by the fault injector, never here
+        self.faults = None
 
     def transfer(self, ready_time: float, size: int) -> float:
         """Occupy the wire for ``size`` bytes starting no earlier than
@@ -112,6 +115,8 @@ class Link:
         if self.noise is not None:
             duration /= self.noise.bandwidth_factor(start)
             latency *= self.noise.latency_factor()
+        if self.faults is not None:
+            latency = self.faults.adjust_latency(start, latency, size)
         end = start + duration
         self._next_free = end
         st = self.stats

@@ -103,6 +103,10 @@ class Router:
             (a, b): topology.wan_route(a, b)
             for a in topology.clusters() for b in topology.clusters() if a != b
         }
+        #: optional :class:`~repro.faults.inject.FaultInjector`; set by the
+        #: injector itself, so fault-free machines keep this None and the
+        #: per-hop checks below reduce to one attribute load and a branch
+        self._faults = None
 
     # ------------------------------------------------------------------
     def route(self, msg: Message, depart_time: float, engine: "Engine",
@@ -146,12 +150,25 @@ class Router:
         # The gateway machine's TCP stack serves one message at a time;
         # reserving at arrival time keeps its queue causally ordered.
         here, nxt = hops[hop_index]
+        faults = self._faults
+        if faults is not None and faults.gateway_down(here, engine.now):
+            # A crashed gateway forwards nothing: the message dies before
+            # its TCP stack would have served it.
+            faults.record_drop(msg, f"gw{here}", "gateway-crash", engine.now)
+            return
         cpu = self._gateway_cpu[here]
         ready = cpu.reserve(engine.now)
         if self.bus.want_gateway:
             self.bus.emit("gateway", GatewayEvent(engine.now, here,
                                                   ready - cpu.service_time,
                                                   ready, msg.size))
+        if faults is not None:
+            # Loss/outage strike as the message enters the wire — after
+            # the gateway already spent its service time on it.
+            reason = faults.wan_drop(here, nxt, ready)
+            if reason is not None:
+                faults.record_drop(msg, f"wan{here}->{nxt}", reason, ready)
+                return
         at_next = self._wan[(here, nxt)].transfer(ready, msg.size)
         if hop_index + 1 < len(hops):
             # Star/ring shapes: store-and-forward at the intermediate
@@ -165,6 +182,11 @@ class Router:
     def _arrive(self, msg: Message, engine: "Engine",
                 on_deliver: Callable[[Message], None]) -> None:
         dst_cluster = self._cluster_of[msg.dst]
+        faults = self._faults
+        if faults is not None and faults.gateway_down(dst_cluster, engine.now):
+            faults.record_drop(msg, f"gw{dst_cluster}", "gateway-crash",
+                               engine.now)
+            return
         cpu = self._gateway_cpu[dst_cluster]
         ready = cpu.reserve(engine.now)
         if self.bus.want_gateway:

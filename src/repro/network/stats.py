@@ -50,6 +50,15 @@ class TrafficStats:
         self.pair: Dict[Tuple[int, int], LayerCounters] = {}
         self.start_time = 0.0
         self.end_time = 0.0
+        # Fault-injection / reliable-transport counters.  Written directly
+        # by the injector and transport (never on the fault-free path) so
+        # attaching this object to a bus costs nothing extra; summary()
+        # only reports them when nonzero, keeping clean-run summaries —
+        # and the golden fingerprints built from them — byte-identical.
+        self.fault_drops = 0
+        self.retransmits = 0
+        self.acks = 0
+        self.dup_data_drops = 0
 
     # ------------------------------------------------------------------
     def record_intra(self, size: int) -> None:
@@ -119,6 +128,18 @@ class TrafficStats:
         ]
 
     def summary(self) -> Dict[str, object]:
+        out = self._base_summary()
+        if (self.fault_drops or self.retransmits or self.acks
+                or self.dup_data_drops):
+            out["faults"] = {
+                "dropped_messages": self.fault_drops,
+                "retransmits": self.retransmits,
+                "acks": self.acks,
+                "duplicates_dropped": self.dup_data_drops,
+            }
+        return out
+
+    def _base_summary(self) -> Dict[str, object]:
         return {
             "duration_s": self.duration,
             "intra_messages": self.intra.messages,

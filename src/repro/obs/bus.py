@@ -41,6 +41,10 @@ TOPICS: Tuple[str, ...] = (
     "unblock",        # UnblockEvent — blocked receive completed
     "phase",          # PhaseEvent — collective/application phase boundary
     "op",             # OpEvent — per-process program-order operation
+    "fault_drop",     # FaultDropEvent — message eaten by an injected fault
+    "fault_spike",    # FaultSpikeEvent — latency inflated by a burst window
+    "fault_link",     # FaultLinkEvent — outage/crash window opened or closed
+    "fault_retransmit",  # RetransmitEvent — reliable transport retry fired
     "traffic_intra",  # (size) — intra-cluster traffic counter
     "traffic_inter",  # (src_cluster, dst_cluster, size) — WAN traffic counter
 )

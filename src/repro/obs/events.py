@@ -110,6 +110,64 @@ class PhaseEvent:
 
 
 @dataclass(frozen=True)
+class FaultDropEvent:
+    """A message dropped by an injected fault (loss/outage/crash).
+
+    ``link`` names the WAN link or gateway (``"gw2"``) that ate the
+    message, ``reason`` is ``"loss"``, ``"outage"`` or
+    ``"gateway-crash"``; ``send_time`` is the depart time of the dropped
+    message so subscribers can correlate it with its send event.
+    """
+
+    time: float
+    link: str
+    reason: str
+    src: int
+    dst: int
+    size: int
+    tag: Any
+    send_time: float
+
+
+@dataclass(frozen=True)
+class FaultSpikeEvent:
+    """A WAN transfer whose latency was inflated by a burst window."""
+
+    time: float
+    link: str
+    base_latency: float
+    latency: float
+    size: int
+
+
+@dataclass(frozen=True)
+class FaultLinkEvent:
+    """A scheduled fault window opened or closed (``kind`` is up/down).
+
+    ``link`` is a WAN link name or ``"gw<cluster>"`` for gateway
+    crash-and-recover transitions.
+    """
+
+    time: float
+    link: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class RetransmitEvent:
+    """The reliable WAN transport retransmitted one unacked message."""
+
+    time: float
+    src: int
+    dst: int
+    seq: int
+    attempt: int
+    rto: float
+    size: int
+    tag: Any
+
+
+@dataclass(frozen=True)
 class OpEvent:
     """One application-level operation, in per-process program order.
 
@@ -153,5 +211,9 @@ __all__ = [
     "BlockEvent",
     "UnblockEvent",
     "PhaseEvent",
+    "FaultDropEvent",
+    "FaultSpikeEvent",
+    "FaultLinkEvent",
+    "RetransmitEvent",
     "OpEvent",
 ]

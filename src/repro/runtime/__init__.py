@@ -8,6 +8,7 @@ from .machine import CpuClock, DeadlockError, Endpoint, Machine, RankStats
 from .reduction import allreduce, binomial_reduce, hier_reduce, linear_reduce
 from .run import RunResult, run_spmd
 from .sequencer import SequencerService, get_seq, migrate_sequencer
+from .transport import ReliableTransport, TransportError
 from .workqueue import (
     AccountantService,
     CentralQueueService,
@@ -40,6 +41,8 @@ __all__ = [
     "linear_reduce",
     "RunResult",
     "run_spmd",
+    "ReliableTransport",
+    "TransportError",
     "SequencerService",
     "get_seq",
     "migrate_sequencer",

@@ -92,8 +92,8 @@ class _Send(Syscall):
         dst = self.dst
         size = self.size
         tag = self.tag
-        spec = (ctx._local_spec if ctx._rank_cluster[dst] == ctx._my_cluster
-                else ctx._wide_spec)
+        inter = ctx._rank_cluster[dst] != ctx._my_cluster
+        spec = ctx._wide_spec if inter else ctx._local_spec
         # Host overhead is paid sequentially by this process but does not
         # reserve the rank CPU: on the DAS, messaging ran on the LANai
         # co-processor / Panda upcall thread, so a computing process does
@@ -109,7 +109,12 @@ class _Send(Syscall):
         msg = Message(ctx.rank, dst, tag, size, self.payload)
         self.payload = None
         bus = ctx._bus
-        if bus.want_send or bus.want_deliver:
+        if inter and ctx._transport is not None:
+            # Reliable WAN transport: the send becomes a sequenced,
+            # acked, retransmitted wire message.  The sender still only
+            # pays its host overhead and continues asynchronously.
+            ctx._transport.send(msg, overhead_end)
+        elif bus.want_send or bus.want_deliver:
             machine.transmit(msg, overhead_end)
         else:
             # Un-instrumented fast path: route directly with the pre-bound
@@ -301,6 +306,7 @@ class Context:
         self._wide_spec = topo.wide
         self._route = machine.router.route
         self._deliver_fns = machine._deliver
+        self._transport = machine.transport
         # Reusable hot syscalls (see module docstring).
         self._compute = _Compute(self, 0.0)
         self._send = _Send(self, 0, 0, None, None)

@@ -98,7 +98,8 @@ class Machine:
     """A two-layer parallel machine executing simulated processes."""
 
     def __init__(self, topology: Topology, seed: int = 0, tracer=None,
-                 bus: Optional[ProbeBus] = None, sanitize: bool = False) -> None:
+                 bus: Optional[ProbeBus] = None, sanitize: bool = False,
+                 faults=None) -> None:
         self.topology = topology
         self.seed = seed
         #: the probe bus every layer of this machine publishes into;
@@ -133,6 +134,23 @@ class Machine:
         self._main_procs: List[Process] = []
         self._daemon_procs: List[Process] = []
         self._live_main = 0
+        #: compiled :class:`~repro.faults.inject.FaultInjector` and
+        #: :class:`~repro.runtime.transport.ReliableTransport`, or None.
+        #: With ``faults=None`` (the default) these stay None and every
+        #: hot-path hook is one attribute load and a branch — the
+        #: call-count parity guard in benchmarks/test_faults_overhead.py
+        #: holds the subsystem to exactly zero disabled cost.
+        self.fault_injector = None
+        self.transport = None
+        if faults is not None and faults.active:
+            from ..faults.inject import FaultInjector  # avoid an import cycle
+
+            if faults.has_faults:
+                self.fault_injector = FaultInjector(faults, self)
+            if faults.transport is not None:
+                from .transport import ReliableTransport
+
+                self.transport = ReliableTransport(faults.transport, self)
 
     # ------------------------------------------------------------------
     # Process management
@@ -186,21 +204,28 @@ class Machine:
     # ------------------------------------------------------------------
     # Message transport (called from Context syscalls)
     # ------------------------------------------------------------------
-    def transmit(self, msg: Message, depart_time: float) -> None:
+    def transmit(self, msg: Message, depart_time: float,
+                 deliver: Optional[Callable[[Message], None]] = None) -> None:
         """Route ``msg``; delivery is scheduled through the engine (shared
-        resources are reserved in arrival order along the path)."""
+        resources are reserved in arrival order along the path).
+
+        ``deliver`` overrides the destination callback — the reliable
+        transport routes its wire messages into its own handlers this way
+        while still paying every link/gateway cost and emitting the same
+        probe events.
+        """
         bus = self.bus
+        if deliver is None:
+            deliver = self._deliver[msg.dst]
         if bus.want_deliver:
-            endpoint = self.endpoints[msg.dst]
+            final = deliver
             engine = self.engine
 
             def deliver(m: Message) -> None:
                 bus.emit("deliver", DeliverEvent(engine.now, m.src, m.dst,
                                                  m.size, m.tag,
                                                  engine.now - m.send_time))
-                endpoint.deliver(m)
-        else:
-            deliver = self._deliver[msg.dst]
+                final(m)
         self.router.route(msg, depart_time, self.engine, deliver)
         if bus.want_send:
             # After route(): the message knows whether it crossed the WAN.

@@ -46,6 +46,8 @@ def run_spmd(
     bus: Optional[ProbeBus] = None,
     report_meta: Optional[Dict[str, Any]] = None,
     sanitize: bool = False,
+    faults=None,
+    max_events: Optional[int] = None,
 ) -> RunResult:
     """Run ``main(ctx)`` on every rank of ``topology`` to completion.
 
@@ -65,13 +67,20 @@ def run_spmd(
     violations raise at run end, deadlocks get wait-for-cycle reports,
     and leak findings land on ``result.machine.sanitizer.findings``.
     Results are byte-identical with the sanitizer on or off.
+
+    ``faults`` takes a :class:`~repro.faults.plan.FaultPlan`: injected
+    WAN faults plus (unless the plan disables it) the reliable transport
+    that lets the run complete under loss.  ``max_events`` bounds the
+    engine event budget (:class:`TimeoutError` on exhaustion) — the chaos
+    tests' guarantee that a faulty run ends instead of hanging.
     """
-    machine = Machine(topology, seed=seed, bus=bus, sanitize=sanitize)
+    machine = Machine(topology, seed=seed, bus=bus, sanitize=sanitize,
+                      faults=faults)
     for rank in topology.ranks():
         machine.spawn(rank, main, name=f"rank{rank}")
     # Host wall-time measurement for reports, not simulated time.
     wall_start = time.perf_counter()  # lint: ignore[wall-clock]
-    machine.run(until=until)
+    machine.run(until=until, max_events=max_events)
     wall = time.perf_counter() - wall_start  # lint: ignore[wall-clock]
     result = RunResult(runtime=machine.runtime(), results=machine.results(),
                        machine=machine, wall_time=wall)

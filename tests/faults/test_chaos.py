@@ -1,0 +1,120 @@
+"""Hypothesis chaos suite: arbitrary fault plans never hang a run.
+
+The contract under test is the tentpole guarantee of :mod:`repro.faults`:
+whatever combination of WAN packet loss, latency bursts, outages and
+gateway crashes a plan throws at an application, the run either
+*completes* or fails with a *typed* error (``TransportError`` when
+retries exhaust, ``DeadlockError`` when the transport is off and a loss
+starves a receive, ``TimeoutError`` on the explicit event budget) —
+never an unbounded hang, and never a protocol-invariant violation that
+the runtime sanitizer can detect.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import run_app
+from repro.faults import (FaultPlan, GatewayCrash, LatencyBurst, Outage,
+                          PacketLoss, TransportConfig)
+from repro.network import das_topology
+from repro.runtime import DeadlockError, TransportError
+
+APPS = ("water", "barnes", "tsp", "asp", "awari", "fft")
+TYPED_FAILURES = (TransportError, DeadlockError, TimeoutError)
+
+#: Event budget converting any would-be hang into a typed TimeoutError.
+EVENT_BUDGET = 3_000_000
+
+
+def topo():
+    return das_topology(clusters=2, cluster_size=2, wan_latency_ms=5.0,
+                        wan_bandwidth_mbyte_s=1.0)
+
+
+@st.composite
+def plans(draw) -> FaultPlan:
+    loss = ()
+    if draw(st.booleans()):
+        loss = (PacketLoss(probability=draw(st.floats(0.0, 0.25))),)
+    bursts = ()
+    if draw(st.booleans()):
+        bursts = (LatencyBurst(
+            start=draw(st.floats(0.0, 0.5)),
+            duration=draw(st.floats(0.05, 5.0)),
+            factor=draw(st.floats(1.1, 4.0)),
+            extra=draw(st.floats(0.0, 0.02)),
+            jitter_cv=draw(st.floats(0.0, 0.5))),)
+    outages = ()
+    if draw(st.booleans()):
+        outages = (Outage(start=draw(st.floats(0.0, 0.5)),
+                          duration=draw(st.floats(0.01, 0.3))),)
+    crashes = ()
+    if draw(st.booleans()):
+        crashes = (GatewayCrash(draw(st.integers(0, 1)),
+                                start=draw(st.floats(0.0, 0.5)),
+                                duration=draw(st.floats(0.01, 0.3))),)
+    transport = TransportConfig(
+        max_retries=draw(st.integers(3, 12)),
+        rto_factor=draw(st.floats(0.5, 4.0)),
+        backoff=draw(st.floats(1.0, 3.0)))
+    return FaultPlan(loss=loss, bursts=bursts, outages=outages,
+                     crashes=crashes, transport=transport)
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=plans(), app=st.sampled_from(APPS), seed=st.integers(0, 3))
+def test_any_plan_completes_or_fails_typed(plan, app, seed):
+    try:
+        result = run_app(app, "unoptimized", topo(), seed=seed, faults=plan,
+                         max_events=EVENT_BUDGET)
+    except TYPED_FAILURES:
+        return
+    assert result.runtime > 0.0
+    assert result.machine.transport.buffered() == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=plans(), app=st.sampled_from(("water", "asp", "fft")))
+def test_unprotected_plans_fail_typed_too(plan, app):
+    # With the transport stripped, losses starve receivers: the run must
+    # surface that as DeadlockError (or still complete when nothing that
+    # mattered was dropped) — never hang.
+    try:
+        result = run_app(app, "unoptimized", topo(),
+                         faults=plan.without_transport(),
+                         max_events=EVENT_BUDGET)
+    except (DeadlockError, TimeoutError):
+        return
+    assert result.runtime > 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan=plans(), app=st.sampled_from(("water", "asp", "barnes")))
+def test_surviving_runs_are_conservation_clean(plan, app):
+    # sanitize=True enforces FIFO/conservation/monotonicity invariants at
+    # run end (raising on error findings) — injected drops must be fully
+    # accounted, retransmit duplicates must not double-deliver.
+    try:
+        result = run_app(app, "unoptimized", topo(), faults=plan,
+                         sanitize=True, max_events=EVENT_BUDGET)
+    except TYPED_FAILURES:
+        return
+    errors = [f for f in result.machine.sanitizer.findings
+              if f.severity == "error"]
+    assert errors == []
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_every_app_survives_one_percent_wan_loss(app):
+    # The headline acceptance criterion: 1% loss on every WAN link of the
+    # paper's 4x8 system, and all six applications still finish.
+    topo48 = das_topology(clusters=4, cluster_size=8, wan_latency_ms=10.0,
+                          wan_bandwidth_mbyte_s=1.0)
+    result = run_app(app, "unoptimized", topo48,
+                     faults=FaultPlan.wan_loss(0.01),
+                     max_events=50_000_000)
+    assert result.runtime > 0.0
+    assert result.machine.transport.buffered() == 0
+    assert result.stats.fault_drops == \
+        result.machine.fault_injector.summary()["drops"]

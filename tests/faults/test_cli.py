@@ -1,0 +1,131 @@
+"""Exit-code matrices for ``repro chaos`` and ``repro bench --check``.
+
+Mirrors tests/lint/test_cli.py: every exit path of each command pinned
+by a direct ``main([...])`` call, plus one end-to-end subprocess through
+``python -m repro`` to prove the wiring.
+"""
+
+import json
+import pathlib
+import subprocess  # lint: ignore[blocking-call]
+import sys
+
+import pytest
+
+from repro.experiments import bench
+from repro.faults.cli import main as chaos_main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SMALL = ["--clusters", "2", "--cluster-size", "2"]
+
+
+# ----------------------------------------------------------------------
+# repro chaos
+# ----------------------------------------------------------------------
+def test_chaos_clean_completion_exits_zero(capsys):
+    assert chaos_main(["water", "--loss", "0.05", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "runtime:" in out
+
+
+def test_chaos_replay_check_exits_zero(capsys):
+    assert chaos_main(["water", "--loss", "0.1", "--replay-check",
+                       *SMALL]) == 0
+    assert "replay: identical" in capsys.readouterr().out
+
+
+def test_chaos_unprotected_loss_exits_one(capsys):
+    assert chaos_main(["water", "--loss", "0.3", "--no-transport",
+                       *SMALL]) == 1
+    assert "DeadlockError" in capsys.readouterr().out
+
+
+def test_chaos_exhausted_retries_exits_one(capsys):
+    rc = chaos_main(["water", "--outage", "0:9999", "--max-retries", "1",
+                     *SMALL])
+    assert rc == 1
+    assert "TransportError" in capsys.readouterr().out
+
+
+def test_chaos_event_budget_exits_one(capsys):
+    assert chaos_main(["water", "--loss", "0.05", "--max-events", "50",
+                       *SMALL]) == 1
+    assert "TimeoutError" in capsys.readouterr().out
+
+
+def test_chaos_unknown_app_exits_two(capsys):
+    assert chaos_main(["nosuchapp", *SMALL]) == 2
+    assert "ValueError" in capsys.readouterr().out
+
+
+def test_chaos_crash_outside_topology_exits_two(capsys):
+    assert chaos_main(["water", "--crash", "9:0.1:0.2", *SMALL]) == 2
+
+
+@pytest.mark.parametrize("bad_args", [
+    ["water", "--spike", "nonsense"],
+    ["water", "--outage", "0.5"],
+    ["water", "--crash", "1:2"],
+    ["--loss", "0.1"],  # missing the app
+])
+def test_chaos_usage_errors_exit_two(bad_args):
+    with pytest.raises(SystemExit) as excinfo:
+        chaos_main(bad_args)
+    assert excinfo.value.code == 2
+
+
+def test_chaos_end_to_end_subprocess():
+    proc = subprocess.run(  # lint: ignore[blocking-call]
+        [sys.executable, "-m", "repro", "chaos", "water",
+         "--loss", "0.05", *SMALL],
+        cwd=REPO, capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "runtime:" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# repro bench --check
+# ----------------------------------------------------------------------
+RAW_FAST = {"benchmarks": [
+    {"name": "test_engine_event_throughput", "stats": {"min": 0.01}},
+    {"name": "test_message_pipeline_throughput", "stats": {"min": 0.01}},
+    {"name": "test_full_app_run_wall_time", "stats": {"min": 0.5}},
+]}
+#: Same shape, but 10x slower than RAW_FAST — far past the tolerance.
+RAW_SLOW = {"benchmarks": [
+    {"name": "test_engine_event_throughput", "stats": {"min": 0.1}},
+    {"name": "test_message_pipeline_throughput", "stats": {"min": 0.1}},
+    {"name": "test_full_app_run_wall_time", "stats": {"min": 5.0}},
+]}
+
+
+def bench_main(monkeypatch, tmp_path, raw, args):
+    monkeypatch.setattr(bench, "run_benchmarks", lambda: raw)
+    return bench.main([str(tmp_path / "traj.json"), *args])
+
+
+def test_bench_check_without_baseline_exits_two(monkeypatch, tmp_path):
+    assert bench_main(monkeypatch, tmp_path, RAW_FAST, ["--check"]) == 2
+
+
+def test_bench_record_then_check_within_tolerance_exits_zero(
+        monkeypatch, tmp_path):
+    assert bench_main(monkeypatch, tmp_path, RAW_FAST,
+                      ["--label", "seed"]) == 0
+    trajectory = json.loads((tmp_path / "traj.json").read_text())
+    assert trajectory["entries"][-1]["label"] == "seed"
+    assert bench_main(monkeypatch, tmp_path, RAW_FAST, ["--check"]) == 0
+
+
+def test_bench_check_regression_exits_one(monkeypatch, tmp_path, capsys):
+    assert bench_main(monkeypatch, tmp_path, RAW_FAST, []) == 0
+    assert bench_main(monkeypatch, tmp_path, RAW_SLOW, ["--check"]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_bench_improvement_is_not_a_regression(monkeypatch, tmp_path):
+    assert bench_main(monkeypatch, tmp_path, RAW_SLOW, []) == 0
+    assert bench_main(monkeypatch, tmp_path, RAW_FAST, ["--check"]) == 0

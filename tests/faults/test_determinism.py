@@ -1,0 +1,79 @@
+"""Replay determinism under faults: same seed + plan -> identical run.
+
+Fault randomness comes only from per-link streams derived with
+:func:`repro.sim.rng.make_rng` from the machine seed and the link name,
+consumed in engine event order; the transport adds no randomness at all.
+So a faulty run must replay repr-exactly — across fresh machines, across
+interleaved unrelated runs (test-reordering immunity), and regardless of
+what the global ``random`` module was used for in between.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import run_app
+from repro.faults import (FaultPlan, GatewayCrash, LatencyBurst, Outage,
+                          PacketLoss, TransportConfig)
+from repro.network import das_topology
+
+#: Every fault type at once, windows overlapping mid-run traffic.
+KITCHEN_SINK = FaultPlan(
+    loss=(PacketLoss(probability=0.05),),
+    bursts=(LatencyBurst(start=0.0, duration=2.0, factor=2.0,
+                         jitter_cv=0.4),),
+    outages=(Outage(start=0.3, duration=0.1),),
+    crashes=(GatewayCrash(1, start=0.5, duration=0.2),),
+    transport=TransportConfig(max_retries=12),
+)
+
+
+def topo():
+    return das_topology(clusters=2, cluster_size=3, wan_latency_ms=5.0,
+                        wan_bandwidth_mbyte_s=1.0)
+
+
+def fingerprint(app, seed, plan):
+    r = run_app(app, "unoptimized", topo(), seed=seed, faults=plan,
+                max_events=10_000_000)
+    return repr((r.runtime,
+                 sorted(r.traffic_summary().items()),
+                 r.machine.fault_injector.summary(),
+                 [s.finish_time for s in r.rank_stats]))
+
+
+def test_kitchen_sink_replays_identically():
+    for app in ("water", "asp"):
+        assert fingerprint(app, 0, KITCHEN_SINK) == \
+            fingerprint(app, 0, KITCHEN_SINK)
+
+
+def test_replay_is_immune_to_interleaved_runs_and_global_rng():
+    first = fingerprint("water", 7, KITCHEN_SINK)
+    # An unrelated clean run plus global-RNG noise in between must not
+    # leak into the next replay.
+    run_app("awari", "unoptimized", topo(), seed=3)
+    random.random()  # lint: ignore[unseeded-random] — proving isolation
+    random.seed(1234)
+    assert fingerprint("water", 7, KITCHEN_SINK) == first
+
+
+def test_different_seed_differs_but_each_replays():
+    seed0 = fingerprint("asp", 0, FaultPlan.wan_loss(0.1))
+    seed1 = fingerprint("asp", 1, FaultPlan.wan_loss(0.1))
+    assert seed0 == fingerprint("asp", 0, FaultPlan.wan_loss(0.1))
+    assert seed1 == fingerprint("asp", 1, FaultPlan.wan_loss(0.1))
+    assert seed0 != seed1  # loss draws depend on the machine seed
+
+
+@settings(max_examples=8, deadline=None)
+@given(probability=st.floats(0.0, 0.2), seed=st.integers(0, 5),
+       jitter=st.floats(0.0, 0.5))
+def test_random_plans_replay_identically(probability, seed, jitter):
+    plan = FaultPlan(
+        loss=(PacketLoss(probability=probability),),
+        bursts=(LatencyBurst(duration=5.0, factor=1.5, jitter_cv=jitter),),
+    )
+    assert fingerprint("water", seed, plan) == \
+        fingerprint("water", seed, plan)

@@ -1,0 +1,65 @@
+"""Golden fingerprints for fault-bearing runs.
+
+``tests/goldens/fault_fingerprints.json`` pins lossy Water and lossy ASP
+runs (1% WAN loss, reliable transport, the paper's 4x8 system) with full
+``repr`` precision — runtime, traffic summary including the faults
+section, per-link drop attribution, per-rank finish times.  Any change to
+the fault RNG derivation, the injection points, or the retransmit
+protocol shows up here as a byte diff before it can silently shift
+degraded-WAN results.
+
+Regenerate (only when an intentional protocol/model change lands) with::
+
+    PYTHONPATH=src python tests/goldens/regen_fault_fingerprints.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps import run_app
+from repro.faults import FaultPlan
+from repro.network import das_topology
+
+GOLDEN_PATH = (pathlib.Path(__file__).parents[1] / "goldens"
+               / "fault_fingerprints.json")
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+APPS = ("water", "asp")
+SEEDS = (0, 7)
+LOSS = 0.01
+
+
+def fault_fingerprint(app, seed):
+    """Repr-exact fingerprint; must match regen_fault_fingerprints.py."""
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    r = run_app(app, "unoptimized", topo, seed=seed,
+                faults=FaultPlan.wan_loss(LOSS), max_events=50_000_000)
+    summary = r.traffic_summary()
+    return {
+        "runtime": repr(r.runtime),
+        "total_messages": r.stats.total_messages,
+        "summary": {k: repr(v) for k, v in sorted(summary.items())},
+        "injection": {k: repr(v)
+                      for k, v in r.machine.fault_injector.summary().items()},
+        "finish_times": [repr(s.finish_time) for s in r.rank_stats],
+    }
+
+
+def test_golden_file_covers_every_case():
+    expected = {f"{app}/seed{seed}" for app in APPS for seed in SEEDS}
+    assert set(GOLDENS) == expected
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("app", APPS)
+def test_lossy_run_matches_golden_fingerprint(app, seed):
+    golden = GOLDENS[f"{app}/seed{seed}"]
+    got = fault_fingerprint(app, seed)
+    assert got["runtime"] == golden["runtime"]
+    assert got["total_messages"] == golden["total_messages"]
+    assert got["summary"] == golden["summary"]
+    assert got["injection"] == golden["injection"]
+    assert got["finish_times"] == golden["finish_times"]

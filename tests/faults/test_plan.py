@@ -1,0 +1,100 @@
+"""FaultPlan construction, validation, and convenience surface."""
+
+import math
+
+import pytest
+
+from repro.faults import (ALL_WAN, FaultPlan, GatewayCrash, LatencyBurst,
+                          Outage, PacketLoss, TransportConfig)
+
+
+def test_empty_plan_with_default_transport_is_active_but_faultless():
+    plan = FaultPlan()
+    assert not plan.has_faults
+    assert plan.active  # the default transport still changes WAN sends
+    assert not FaultPlan(transport=None).active
+
+
+def test_plan_coerces_lists_to_tuples_and_hashes():
+    plan = FaultPlan(loss=[PacketLoss(probability=0.1)],
+                     outages=[Outage(start=1.0, duration=0.5)])
+    assert isinstance(plan.loss, tuple)
+    assert isinstance(plan.outages, tuple)
+    assert hash(plan) == hash(FaultPlan(loss=(PacketLoss(probability=0.1),),
+                                        outages=(Outage(start=1.0,
+                                                        duration=0.5),)))
+
+
+@pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+def test_loss_probability_range_is_validated(bad):
+    with pytest.raises(ValueError):
+        FaultPlan(loss=(PacketLoss(probability=bad),))
+
+
+@pytest.mark.parametrize("start,duration", [
+    (-1.0, 1.0), (math.nan, 1.0), (0.0, 0.0), (0.0, -2.0), (0.0, math.nan),
+])
+def test_windows_are_validated(start, duration):
+    with pytest.raises(ValueError):
+        FaultPlan(outages=(Outage(start=start, duration=duration),))
+    with pytest.raises(ValueError):
+        FaultPlan(crashes=(GatewayCrash(0, start=start, duration=duration),))
+
+
+def test_no_effect_burst_is_rejected():
+    with pytest.raises(ValueError, match="no effect"):
+        FaultPlan(bursts=(LatencyBurst(start=0.0, duration=1.0),))
+    # Any single knob makes it meaningful.
+    FaultPlan(bursts=(LatencyBurst(duration=1.0, factor=2.0),))
+    FaultPlan(bursts=(LatencyBurst(duration=1.0, extra=0.005),))
+    FaultPlan(bursts=(LatencyBurst(duration=1.0, jitter_cv=0.3),))
+
+
+def test_negative_crash_cluster_is_rejected():
+    with pytest.raises(ValueError, match="cluster"):
+        FaultPlan(crashes=(GatewayCrash(-1, duration=1.0),))
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_retries": -1},
+    {"rto_factor": 0.0},
+    {"min_rto": -1e-3},
+    {"backoff": 0.5},
+    {"ack_bytes": 0},
+])
+def test_transport_config_is_validated(kwargs):
+    with pytest.raises(ValueError):
+        FaultPlan(transport=TransportConfig(**kwargs))
+
+
+def test_wan_loss_and_reliable_only_constructors():
+    plan = FaultPlan.wan_loss(0.05)
+    assert plan.loss[0].link == ALL_WAN
+    assert plan.loss[0].probability == 0.05
+    assert plan.transport is not None
+
+    bare = FaultPlan.reliable_only()
+    assert not bare.has_faults and bare.active
+
+
+def test_without_transport_strips_only_the_transport():
+    plan = FaultPlan.wan_loss(0.1).without_transport()
+    assert plan.transport is None
+    assert plan.has_faults
+
+
+def test_describe_mentions_every_directive():
+    plan = FaultPlan(
+        loss=(PacketLoss(probability=0.02),),
+        bursts=(LatencyBurst(duration=1.0, factor=3.0),),
+        outages=(Outage("wan0->1", start=0.5, duration=0.25),),
+        crashes=(GatewayCrash(2, start=0.1, duration=0.2),),
+    )
+    text = "\n".join(plan.describe())
+    assert "loss 0.02" in text
+    assert "burst x3" in text
+    assert "outage on wan0->1" in text
+    assert "cluster 2" in text
+    assert "reliable transport" in text
+    off = "\n".join(plan.without_transport().describe())
+    assert "reliable transport: off" in off

@@ -1,0 +1,115 @@
+"""Reliable WAN transport: loss recovery, typed failures, accounting."""
+
+import pytest
+
+from repro.apps import run_app
+from repro.faults import (FaultPlan, GatewayCrash, LatencyBurst, Outage,
+                          TransportConfig)
+from repro.network import das_topology
+from repro.runtime import DeadlockError, TransportError
+
+TOPO_KW = dict(clusters=2, cluster_size=2, wan_latency_ms=10.0,
+               wan_bandwidth_mbyte_s=1.0)
+
+
+def topo():
+    return das_topology(**TOPO_KW)
+
+
+def run(app="water", plan=None, **kwargs):
+    return run_app(app, "unoptimized", topo(), faults=plan,
+                   max_events=5_000_000, **kwargs)
+
+
+def test_lossy_run_completes_and_accounts_for_recovery():
+    clean = run()
+    lossy = run(plan=FaultPlan.wan_loss(0.1))
+    assert lossy.results == clean.results  # same answers, slower arrival
+    stats = lossy.stats
+    assert stats.fault_drops > 0
+    assert stats.retransmits > 0
+    assert stats.acks > 0
+    summary = lossy.traffic_summary()
+    assert summary["faults"]["dropped_messages"] == stats.fault_drops
+    # The clean summary must not grow a faults section.
+    assert "faults" not in clean.traffic_summary()
+
+
+def test_receiver_never_holds_data_hostage():
+    # Every piece of application data a completed run received was
+    # released in order; only *trailing acks* may still be in flight
+    # (the engine stops the moment the last main process finishes, so a
+    # dropped final ack legitimately leaves its send entry pending).
+    lossy = run(plan=FaultPlan.wan_loss(0.1))
+    transport = lossy.machine.transport
+    assert transport.buffered() == 0
+
+
+def test_heavy_loss_without_transport_deadlocks_typed():
+    with pytest.raises(DeadlockError):
+        run(plan=FaultPlan.wan_loss(0.3).without_transport())
+
+
+def test_permanent_outage_exhausts_retries():
+    plan = FaultPlan(outages=(Outage(),),
+                     transport=TransportConfig(max_retries=1))
+    with pytest.raises(TransportError) as excinfo:
+        run(plan=plan)
+    exc = excinfo.value
+    assert exc.attempts == 2  # the original send plus max_retries=1
+    assert isinstance(exc.src, int) and isinstance(exc.dst, int)
+    assert exc.seq >= 0
+
+
+def test_finite_outage_is_survived_and_attributed():
+    plan = FaultPlan(outages=(Outage(start=0.05, duration=0.2),))
+    result = run(plan=plan)
+    injector = result.machine.fault_injector
+    reasons = injector.summary()["by_reason"]
+    if injector.drops:  # traffic crossed the window
+        assert set(reasons) == {"outage"}
+    assert result.machine.transport.unacked() == 0
+
+
+def test_gateway_crash_is_survived_and_attributed():
+    plan = FaultPlan(crashes=(GatewayCrash(0, start=0.02, duration=0.3),))
+    result = run(plan=plan)
+    reasons = result.machine.fault_injector.summary()["by_reason"]
+    assert reasons and set(reasons) == {"gateway-crash"}
+
+
+def test_latency_burst_slows_but_never_drops():
+    clean = run()
+    plan = FaultPlan(bursts=(LatencyBurst(duration=10.0, factor=5.0,
+                                          extra=0.02),),
+                     transport=None)
+    burst = run(plan=plan)
+    assert burst.stats.fault_drops == 0
+    assert burst.runtime > clean.runtime
+    assert burst.results == clean.results
+
+
+def test_aggressive_timeouts_cause_dedup_not_corruption():
+    # An RTO far below the actual RTT forces spurious retransmissions;
+    # the receiver must drop the duplicates and still deliver one copy
+    # of everything, in order.
+    clean = run(app="asp")
+    plan = FaultPlan(transport=TransportConfig(rto_factor=0.2, min_rto=1e-4))
+    twitchy = run(app="asp", plan=plan)
+    assert twitchy.stats.dup_data_drops > 0
+    assert twitchy.results == clean.results
+
+
+def test_event_budget_turns_runaway_into_timeout():
+    with pytest.raises(TimeoutError):
+        run_app("water", "unoptimized", topo(), max_events=50)
+    with pytest.raises(TimeoutError):
+        run_app("water", "unoptimized", topo(),
+                faults=FaultPlan.wan_loss(0.02), max_events=50)
+
+
+def test_sanitizer_stays_clean_under_loss():
+    result = run(plan=FaultPlan.wan_loss(0.05), sanitize=True)
+    errors = [f for f in result.machine.sanitizer.findings
+              if f.severity == "error"]
+    assert errors == []

@@ -1,0 +1,35 @@
+"""Regenerate tests/goldens/fault_fingerprints.json (lossy golden runs).
+
+Run only when an *intentional* change to the fault RNG, the injection
+points, or the retransmit protocol lands — never to paper over an
+unexplained diff in ``tests/faults/test_goldens.py``.
+
+    PYTHONPATH=src python tests/goldens/regen_fault_fingerprints.py
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+
+def main() -> None:
+    # Import so the test module stays the single fingerprint definition.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+    from faults.test_goldens import APPS, SEEDS, fault_fingerprint
+
+    out = {}
+    for app in APPS:
+        for seed in SEEDS:
+            key = f"{app}/seed{seed}"
+            out[key] = fault_fingerprint(app, seed)
+            print(key, out[key]["runtime"],
+                  out[key]["summary"].get("faults"))
+    path = pathlib.Path(__file__).parent / "fault_fingerprints.json"
+    path.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
