@@ -1,0 +1,84 @@
+"""Profiler overhead guard: an unattached profiler must cost zero.
+
+The critical-path profiler rides the probe bus like the sanitizer: its
+disabled cost is the bus's no-subscriber fast path.  Merely *importing*
+``repro.critpath`` (which the CLI dispatcher does to register the
+``profile`` command) must not attach anything, warm any topic, or add a
+single Python call to an uninstrumented run.
+
+1. **Call-count parity**: the same message pipeline, run before and
+   after ``import repro.critpath``, executes exactly the same number of
+   Python function calls.
+2. **Structural zero-cost**: a bare ``Machine`` leaves every topic the
+   profiler would subscribe to cold.
+3. **Attached parity**: with a profiler subscribed the simulated clock
+   must be byte-identical — the profiler is a pure observer.
+"""
+
+import cProfile
+import pstats
+
+from repro.network import das_topology
+from repro.runtime import Machine
+
+
+def run_message_pipeline(n=5_000, bus=None):
+    topo = das_topology(clusters=2, cluster_size=2)
+    machine = Machine(topo, bus=bus) if bus is not None else Machine(topo)
+
+    def sender(ctx):
+        for i in range(n):
+            yield ctx.send(3, 256, "t", payload=i)
+
+    def receiver(ctx):
+        for _ in range(n):
+            yield ctx.recv("t")
+
+    def idle(ctx):
+        yield ctx.compute(0)
+
+    machine.spawn(0, sender)
+    machine.spawn(3, receiver)
+    machine.spawn(1, idle)
+    machine.spawn(2, idle)
+    finish = machine.run()
+    assert machine.stats.total_messages == n
+    return finish, machine
+
+
+def total_calls(**kwargs):
+    profile = cProfile.Profile()
+    profile.enable()
+    run_message_pipeline(**kwargs)
+    profile.disable()
+    return pstats.Stats(profile).total_calls
+
+
+def test_import_critpath_keeps_call_count_parity():
+    baseline = total_calls()
+    import repro.critpath  # noqa: F401  (the variable under test)
+
+    after_import = total_calls()
+    assert after_import == baseline, (
+        f"importing repro.critpath costs {after_import - baseline:+d} "
+        f"Python calls on an uninstrumented run ({after_import} vs "
+        f"{baseline}) — the unattached profiler must be free")
+
+
+def test_no_profiler_leaves_topics_cold():
+    _, machine = run_message_pipeline(n=10)
+    bus = machine.bus
+    for topic in ("send", "deliver", "compute", "op", "unblock",
+                  "fault_retransmit"):
+        assert getattr(bus, f"want_{topic}") is False, topic
+
+
+def test_attached_profiler_same_simulated_clock():
+    from repro.critpath import Profiler
+    from repro.obs.bus import ProbeBus
+
+    finish_off, _ = run_message_pipeline(n=2_000)
+    bus = ProbeBus()
+    bus.attach(Profiler(das_topology(clusters=2, cluster_size=2)))
+    finish_on, machine = run_message_pipeline(n=2_000, bus=bus)
+    assert repr(finish_on) == repr(finish_off)

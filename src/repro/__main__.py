@@ -23,6 +23,7 @@ from .experiments import (
     table2,
     variability,
 )
+from .critpath import cli as profile_cli
 from .experiments import cache as cache_cli
 from .faults import cli as chaos_cli
 from .lint import cli as lint_cli
@@ -43,6 +44,7 @@ COMMANDS = {
     "export": (export.main, "Export experiment data as CSV/JSON"),
     "algselect": (algselect.main, "Collective algorithm selection across the gap"),
     "trace": (trace_cli.main, "Run one app instrumented; write Perfetto trace + report"),
+    "profile": (profile_cli.main, "Critical-path profile: time attribution + WAN blame"),
     "whatif": (whatif_cli.main, "Record-once what-if analysis: predicted Figure-3 grid"),
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
     "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),

@@ -1,0 +1,36 @@
+"""Causal critical-path profiler with time attribution and blame.
+
+Public surface:
+
+- :class:`Profiler` — probe-bus subscriber; attach before a run, then
+  ``finalize(machine)`` into a :class:`Profile`.
+- :class:`Profile` — per-rank and whole-run time attribution (buckets in
+  :data:`BUCKETS`, sums exactly to wall time), lazy
+  :meth:`~Profile.critical_path`, text/JSON/metrics exports.
+- :class:`CriticalPath` / :class:`PathStep` — the exact path with
+  per-edge resource decomposition, slack, and sensitivity blame.
+- :func:`profile_run` / :func:`profile_app` — one-call conveniences.
+
+Importing this package costs nothing at run time: nothing subscribes to
+the probe bus until a :class:`Profiler` is explicitly attached, so a run
+without one is byte-identical to a run without the package (pinned by
+the golden-parity and overhead-guard tests).
+"""
+
+from .path import MAX_STEPS, CriticalPath, PathStep, compute_critical_path
+from .profile import (BUCKET_LETTERS, BUCKETS, Profile, Profiler,
+                      RankAttribution, profile_app, profile_run)
+
+__all__ = [
+    "BUCKETS",
+    "BUCKET_LETTERS",
+    "CriticalPath",
+    "MAX_STEPS",
+    "PathStep",
+    "Profile",
+    "Profiler",
+    "RankAttribution",
+    "compute_critical_path",
+    "profile_app",
+    "profile_run",
+]

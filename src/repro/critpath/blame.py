@@ -1,0 +1,78 @@
+"""Dominant-bottleneck annotation of experiment grids.
+
+Profiles an application at each requested (bandwidth, latency) grid
+point and reduces every point to the one-letter code of its dominant
+attribution bucket (see :data:`~repro.critpath.profile.BUCKET_LETTERS`),
+so a Figure-3 panel can be read next to *why* each cell is slow:
+``C`` compute-bound, ``L`` WAN-latency-bound, ``B`` WAN-bandwidth-bound,
+``Q`` queueing, ``W`` sender-wait/imbalance, and so on.
+
+The helpers take explicit bandwidth/latency lists rather than hardwiring
+the paper grid, so tests can annotate a single point cheaply while the
+CLI sweeps the full 6x7 grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments import grids
+from .profile import BUCKET_LETTERS, profile_app
+
+
+def dominant_bucket_at(app: str, variant: str, bandwidth: float,
+                       latency_ms: float, scale: str = "bench",
+                       seed: int = 0, faults=None,
+                       clusters: int = grids.NUM_CLUSTERS,
+                       cluster_size: int = grids.CLUSTER_SIZE) -> str:
+    """Profile one grid point; return its dominant attribution bucket."""
+    topo = grids.multi_cluster(bandwidth, latency_ms, clusters, cluster_size)
+    _, profile = profile_app(app, variant, topo, scale=scale, seed=seed,
+                             faults=faults)
+    return profile.dominant_bucket()
+
+
+def blame_grid(app: str, variant: str,
+               bandwidths: Optional[List[float]] = None,
+               latencies_ms: Optional[List[float]] = None,
+               scale: str = "bench", seed: int = 0,
+               faults=None) -> Dict[Tuple[float, float], str]:
+    """Dominant bucket per (bandwidth, latency) point of a panel grid."""
+    bandwidths = list(bandwidths if bandwidths is not None
+                      else grids.BANDWIDTHS_MBYTE_S)
+    latencies_ms = list(latencies_ms if latencies_ms is not None
+                        else grids.LATENCIES_MS)
+    out: Dict[Tuple[float, float], str] = {}
+    for bw in bandwidths:
+        for lat in latencies_ms:
+            out[(bw, lat)] = dominant_bucket_at(
+                app, variant, bw, lat, scale=scale, seed=seed, faults=faults)
+    return out
+
+
+def render_blame_panel(app: str, variant: str,
+                       grid: Dict[Tuple[float, float], str],
+                       bandwidths: Optional[List[float]] = None,
+                       latencies_ms: Optional[List[float]] = None) -> str:
+    """Letter-grid rendering of a :func:`blame_grid` result plus legend."""
+    from ..experiments.report import render_table
+
+    bandwidths = sorted(bandwidths if bandwidths is not None
+                        else grids.BANDWIDTHS_MBYTE_S, reverse=True)
+    latencies_ms = list(latencies_ms if latencies_ms is not None
+                        else grids.LATENCIES_MS)
+    headers = ["latency \\ bw MByte/s"] + [f"{bw:g}" for bw in bandwidths]
+    rows = []
+    used = set()
+    for lat in latencies_ms:
+        cells = []
+        for bw in bandwidths:
+            bucket = grid[(bw, lat)]
+            used.add(bucket)
+            cells.append(BUCKET_LETTERS[bucket])
+        rows.append([f"{lat:g} ms"] + cells)
+    table = render_table(
+        headers, rows,
+        title=f"{app.upper()} {variant} — dominant bottleneck bucket")
+    legend = "  ".join(f"{BUCKET_LETTERS[b]}={b}" for b in sorted(used))
+    return table + "\nlegend: " + legend

@@ -1,0 +1,313 @@
+"""Exact critical-path extraction and sensitivity blame.
+
+The critical path of a run is the chain of causally-dependent intervals
+that ends at the slowest rank's finish and cannot be shortened without
+changing some dependency's timing.  We extract it by walking *backward*
+through the profiler's per-process ledgers:
+
+- inside a process, time flows through whatever segment covers the
+  current instant (compute, overhead, sleep — all "on-path");
+- a **blocked** segment means the instant was waiting on a message: the
+  path crosses a dependency edge to the *sender*, resuming at the send
+  op that produced the releasing message (resolved through the
+  profiler's send registry — exact, not heuristic);
+- if the receiver blocked before the sender even departed, the wait up
+  to the depart time is the sender's fault, so the walk transfers at the
+  depart instant and charges only the transit window to the edge.
+
+Each edge step carries the analytic per-resource decomposition of its
+transit (local/WAN latency, bandwidth serialization, gateway service,
+transport retries, queueing residual) from
+:meth:`~repro.critpath.profile.Profiler.transit_breakdown`, plus its
+**slack**: how much the message's own transit could grow before this
+edge stops hiding behind the receiver's earlier block (slack 0 means the
+transit is fully exposed — any latency/bandwidth degradation of this
+edge lengthens the run).
+
+Summing the WAN-latency traversals over exposed edges yields the
+first-order **latency sensitivity** ``dT/dL`` (how many WAN latencies
+the run serializes end-to-end); the analogous byte sum gives the
+bandwidth blame.  These are the quantities the paper's Figure 3 grid
+measures empirically — the tests cross-validate the predicted ranking
+against direct simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
+
+from .profile import BUCKETS, ProcLedger, Segment
+
+#: Hard cap on walk length; a run with more causal steps than this on a
+#: single path would be pathological (bench runs are ~1e4-1e5 steps).
+MAX_STEPS = 2_000_000
+
+
+class PathStep:
+    """One interval on the critical path, earliest first after the walk."""
+
+    __slots__ = ("kind", "proc", "rank", "start", "end", "src_rank",
+                 "size", "resource", "components", "slack", "hops")
+
+    def __init__(self, kind: str, proc: str, rank: int, start: float,
+                 end: float, src_rank: int = -1, size: int = 0,
+                 resource: str = "", components=None,
+                 slack: float = 0.0, hops: int = 0) -> None:
+        self.kind = kind          # compute|overhead|sleep|edge|wait|gap
+        self.proc = proc
+        self.rank = rank          # the rank whose timeline holds the step
+        self.start = start
+        self.end = end
+        self.src_rank = src_rank  # edge: sender rank
+        self.size = size          # edge: message bytes
+        self.resource = resource  # edge: dominant component bucket
+        self.components = components or {}
+        self.slack = slack
+        self.hops = hops          # edge: WAN channels crossed (0 = local)
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = {"kind": self.kind, "proc": self.proc, "rank": self.rank,
+             "start_s": self.start, "end_s": self.end,
+             "length_s": self.length}
+        if self.kind == "edge":
+            d.update(src_rank=self.src_rank, size=self.size,
+                     resource=self.resource, slack_s=self.slack,
+                     wan_hops=self.hops,
+                     components={k: v for k, v in self.components.items()
+                                 if v != 0.0})
+        return d
+
+
+class CriticalPath:
+    """The extracted path plus its per-resource totals and blame."""
+
+    def __init__(self, steps: List[PathStep], wall: float,
+                 end_rank: int, wan_latency: float,
+                 wan_bandwidth: float) -> None:
+        self.steps = steps
+        self.wall = wall
+        self.end_rank = end_rank
+        self._wan_latency = wan_latency
+        self._wan_bandwidth = wan_bandwidth
+        self._totals: Optional[Dict[str, float]] = None
+
+    # -- aggregation ----------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """Seconds per bucket along the path (sums to ~wall time)."""
+        if self._totals is not None:
+            return self._totals
+        pieces: Dict[str, List[float]] = {}
+        for step in self.steps:
+            if step.kind == "edge":
+                for bucket, v in step.components.items():
+                    pieces.setdefault(bucket, []).append(v)
+            elif step.kind == "compute":
+                pieces.setdefault("compute", []).append(step.length)
+            elif step.kind == "overhead":
+                pieces.setdefault("overhead", []).append(step.length)
+            elif step.kind == "sleep":
+                pieces.setdefault("sleep", []).append(step.length)
+            elif step.kind == "wait":
+                pieces.setdefault("wait", []).append(step.length)
+            else:
+                pieces.setdefault("unattributed", []).append(step.length)
+        self._totals = {b: math.fsum(pieces.get(b, ())) for b in BUCKETS}
+        return self._totals
+
+    def sensitivity(self) -> Dict[str, float]:
+        """First-order blame: how the path responds to L1 degradation.
+
+        - ``wan_latency_traversals``: WAN channels crossed by on-path
+          edges (dT ~= traversals * dL to first order — each on-path
+          release shifts by the full latency change per hop);
+        - ``wan_bytes_on_path``: bytes * hops over on-path edges
+          (dT ~= bytes_on_path * d(1/bw));
+        - ``latency_blame_s`` / ``bandwidth_blame_s``: seconds the path
+          currently spends in WAN propagation / WAN serialization
+          (scaled to the visible windows, so they sum into wall time);
+        - ``exposed_edges`` / ``slack_hidden_edges``: edges whose transit
+          is fully on the path vs. partially hidden behind receiver work.
+        """
+        totals = self.totals()
+        lat = totals["lat_wan"]
+        bw = totals["bw_wan"]
+        traversals = 0.0
+        bytes_on_path = 0.0
+        for s in self.steps:
+            if s.kind == "edge" and s.hops:
+                traversals += s.hops
+                bytes_on_path += s.size * s.hops
+        exposed = sum(1 for s in self.steps
+                      if s.kind == "edge" and s.slack == 0.0)
+        hidden = sum(1 for s in self.steps
+                     if s.kind == "edge" and s.slack > 0.0)
+        return {
+            "wan_latency_traversals": traversals,
+            "wan_bytes_on_path": bytes_on_path,
+            "latency_blame_s": lat,
+            "bandwidth_blame_s": bw,
+            "latency_blame_frac": lat / self.wall if self.wall else 0.0,
+            "bandwidth_blame_frac": bw / self.wall if self.wall else 0.0,
+            "exposed_edges": float(exposed),
+            "slack_hidden_edges": float(hidden),
+        }
+
+    # -- exports --------------------------------------------------------
+    def to_dict(self, max_steps: int = 50) -> Dict[str, Any]:
+        """JSON form: totals plus the ``max_steps`` longest steps."""
+        longest = sorted(self.steps, key=lambda s: -s.length)[:max_steps]
+        longest.sort(key=lambda s: s.start)
+        return {
+            "num_steps": len(self.steps),
+            "end_rank": self.end_rank,
+            "totals": {k: v for k, v in self.totals().items() if v != 0.0},
+            "longest_steps": [s.to_dict() for s in longest],
+        }
+
+    def render_text(self, top_edges: int = 8) -> str:
+        totals = self.totals()
+        lines = [f"critical path: {len(self.steps)} steps ending on "
+                 f"rank {self.end_rank}; per-resource totals:"]
+        wall = self.wall or 1.0
+        for bucket in BUCKETS:
+            v = totals[bucket]
+            if abs(v) < 1e-12:
+                continue
+            lines.append(f"  {bucket:<13s} {v:12.6f}s  {100 * v / wall:6.2f}%")
+        edges = [s for s in self.steps if s.kind == "edge"]
+        if edges:
+            edges.sort(key=lambda s: -s.length)
+            lines.append(f"  {len(edges)} message edges; longest:")
+            for s in edges[:top_edges]:
+                lines.append(
+                    f"    r{s.src_rank}->r{s.rank} {s.size}B "
+                    f"@{s.start:.6f}s +{s.length * 1e6:.1f}us "
+                    f"[{s.resource}] slack {s.slack * 1e6:.1f}us")
+        sens = self.sensitivity()
+        lines.append(
+            f"  sensitivity: {sens['wan_latency_traversals']:.1f} WAN-latency "
+            f"traversals ({100 * sens['latency_blame_frac']:.1f}% of wall), "
+            f"{sens['wan_bytes_on_path'] / 1e6:.2f}MB WAN bytes on path "
+            f"({100 * sens['bandwidth_blame_frac']:.1f}% of wall)")
+        return "\n".join(lines)
+
+
+def _locate(led: ProcLedger, t: float) -> Optional[Segment]:
+    """Last segment starting strictly before ``t`` (None if t precedes all)."""
+    idx = bisect_left(led.starts(), t) - 1
+    if idx < 0:
+        return None
+    return led.segs[idx]
+
+
+def compute_critical_path(profile) -> CriticalPath:
+    """Walk backward from the slowest rank's finish to time zero."""
+    profiler = profile.profiler
+    ledgers = profiler.ledgers
+    send_index = profiler.send_index
+    topo = profile.topology
+
+    # Deterministic end: slowest rank, lowest rank number on ties.
+    end_rank = 0
+    end_t = -1.0
+    for att in profile.per_rank:
+        if att.finish > end_t:
+            end_rank, end_t = att.rank, att.finish
+    led = ledgers.get(f"rank{end_rank}")
+    steps: List[PathStep] = []
+    t = end_t
+    while led is not None and t > 0.0 and len(steps) < MAX_STEPS:
+        seg = _locate(led, t)
+        if seg is None:
+            # Before the process's first segment: startup gap to zero.
+            if t > 0:
+                steps.append(PathStep("gap", led.name, led.rank, 0.0, t))
+            break
+        if seg.end < t:
+            # A hole in the ledger (engine-level primitive): bridge it.
+            steps.append(PathStep("gap", led.name, led.rank, seg.end, t))
+            t = seg.end
+            continue
+        if seg.kind == "blocked":
+            prev_t = t
+            if t < seg.end:
+                # Mid-window entry: the release at seg.end hadn't happened
+                # by t, so it cannot explain progress at t — the process
+                # was simply waiting since seg.start.  (Reached only via
+                # float fuzz at a segment boundary, where a blocked start
+                # computed as ``time - waited`` lands a few ULPs below
+                # the depart instant the walk jumped to.)
+                steps.append(PathStep("wait", led.name, led.rank,
+                                      seg.start, t))
+                t = seg.start
+                continue
+            if seg.send_time < 0:
+                # Unknown cause (hand-built event): treat as pure wait.
+                steps.append(PathStep("wait", led.name, led.rank,
+                                      seg.start, t))
+                t = seg.start
+                continue
+            # Resolve the sender first: with the send op in hand the path
+            # runs through the message's *full* transit (the part hidden
+            # behind the receiver's earlier work included — the chain is
+            # causal, not a slice of the receiver's timeline).  Without
+            # it, cover only the visible window and stay on the receiver.
+            sender = None
+            hit = send_index.get((seg.src, led.rank, seg.tag,
+                                  seg.send_time))
+            if hit is not None:
+                cand = ledgers.get(hit[0])
+                if (cand is not None and hit[1] < prev_t
+                        and seg.send_time < prev_t):
+                    sender = cand
+            window_start = (seg.send_time if seg.send_time > seg.start
+                            else seg.start)
+            edge_start = seg.send_time if sender is not None else window_start
+            slack = max(0.0, window_start - seg.send_time)
+            comps = dict(profiler.transit_breakdown(seg, led.rank,
+                                                    edge_start))
+            resource = ""
+            best = -math.inf
+            for bucket in BUCKETS:
+                v = comps.get(bucket, 0.0)
+                if v > best:
+                    resource, best = bucket, v
+            hops = 0
+            if seg.inter:
+                hops = len(topo.wan_route(topo.cluster_of(seg.src),
+                                          topo.cluster_of(led.rank)))
+            if t > edge_start:
+                steps.append(PathStep(
+                    "edge", led.name, led.rank, edge_start, t,
+                    src_rank=seg.src, size=seg.size, resource=resource,
+                    components=comps, slack=slack, hops=hops))
+            if sender is not None:
+                # Resume on the sender at the depart instant — its own
+                # send-overhead segment ends exactly there, so the walk
+                # picks up the sender's timeline without a hole.
+                led = sender
+                t = seg.send_time
+                continue
+            # Unresolved sender: charge the receiver's wait before the
+            # window and stay on this timeline.
+            wait_end = min(window_start, prev_t)
+            if wait_end > seg.start:
+                steps.append(PathStep("wait", led.name, led.rank,
+                                      seg.start, wait_end))
+            t = seg.start
+        else:
+            kind = ("compute" if seg.kind == "compute"
+                    else "sleep" if seg.kind == "sleep" else "overhead")
+            steps.append(PathStep(kind, led.name, led.rank, seg.start,
+                                  min(seg.end, t)))
+            t = seg.start
+    steps.reverse()
+    return CriticalPath(steps, profile.wall, end_rank,
+                        wan_latency=topo.wide.latency,
+                        wan_bandwidth=topo.wide.bandwidth)

@@ -37,22 +37,42 @@ REFERENCE_LATENCY_MS = 10.0
 
 
 def overhead_rows(apps: List[str], variant: str, loss_rates: List[float],
-                  scale: str, seed: int) -> List[List[str]]:
-    """Clean vs. degraded runtime (plus retransmit counts) per app."""
+                  scale: str, seed: int,
+                  blame: bool = False) -> List[List[str]]:
+    """Clean vs. degraded runtime (plus retransmit counts) per app.
+
+    With ``blame=True`` each runtime cell is annotated with the run's
+    dominant attribution bucket from a profiled re-run (see
+    :mod:`repro.critpath`) — e.g. ``[retry]`` when loss recovery, not
+    raw WAN latency, is what the degraded run waits on.
+    """
     topo = grids.multi_cluster(REFERENCE_BANDWIDTH, REFERENCE_LATENCY_MS)
+    if blame:
+        from ..critpath.blame import dominant_bucket_at
+
+    def bucket_note(faults) -> str:
+        if not blame:
+            return ""
+        bucket = dominant_bucket_at(
+            app, variant, REFERENCE_BANDWIDTH, REFERENCE_LATENCY_MS,
+            scale=scale, seed=seed, faults=faults)
+        return f" [{bucket}]"
+
     rows = []
     for app in apps:
         config = default_config(app, scale)
         clean = run_app(app, variant, topo, config=config, seed=seed)
-        row = [app, f"{clean.runtime:.4f}s"]
+        row = [app, f"{clean.runtime:.4f}s{bucket_note(None)}"]
         for rate in loss_rates:
+            plan = FaultPlan.wan_loss(rate)
             lossy = run_app(app, variant, topo, config=config, seed=seed,
-                            faults=FaultPlan.wan_loss(rate))
+                            faults=plan)
             overhead = 100.0 * (lossy.runtime / clean.runtime - 1.0)
             stats = lossy.stats
             row.append(f"{lossy.runtime:.4f}s (+{overhead:.1f}%, "
                        f"{stats.fault_drops} lost, "
-                       f"{stats.retransmits} resent)")
+                       f"{stats.retransmits} resent)"
+                       f"{bucket_note(FaultPlan.wan_loss(rate))}")
         rows.append(row)
     return rows
 
@@ -68,6 +88,9 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--skip-panels", action="store_true",
                         help="only print the overhead table (much faster)")
+    parser.add_argument("--blame", action="store_true",
+                        help="annotate overhead cells with the dominant "
+                             "attribution bucket from a profiled re-run")
     args = parser.parse_args(argv)
 
     if not args.skip_panels:
@@ -84,7 +107,7 @@ def main(argv: Optional[list] = None) -> None:
     print(render_table(
         headers,
         overhead_rows(args.apps, args.variant, args.loss, args.scale,
-                      args.seed),
+                      args.seed, blame=args.blame),
         title=(f"Runtime overhead of WAN loss at {REFERENCE_BANDWIDTH:g} "
                f"MByte/s, {REFERENCE_LATENCY_MS:g} ms ({args.variant})")))
 

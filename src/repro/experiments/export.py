@@ -103,17 +103,29 @@ def figure4_rows(scale: str = "bench", seed: int = 0) -> List[Dict]:
 
 
 def traffic_rows(apps: Optional[List[str]] = None,
-                 scale: str = "bench", seed: int = 0) -> List[Dict]:
-    """Inter-cluster traffic pair matrix per app at the Figure-1 point."""
+                 scale: str = "bench", seed: int = 0,
+                 faults=None) -> List[Dict]:
+    """Inter-cluster traffic pair matrix per app at the Figure-1 point.
+
+    Each row carries the run-level fault/transport counters (zero on
+    clean runs) so a CSV from a faulty run (pass a
+    :class:`~repro.faults.plan.FaultPlan`) is directly comparable.
+    """
     from ..apps import run_app
 
     topo = grids.multi_cluster(grids.FIGURE1_BANDWIDTH, grids.FIGURE1_LATENCY_MS)
     rows = []
     for app in (apps or grids.APPS):
         variant = "optimized" if app != "fft" else "unoptimized"
-        result = run_app(app, variant, topo, scale=scale, seed=seed)
+        result = run_app(app, variant, topo, scale=scale, seed=seed,
+                         faults=faults)
+        stats = result.machine.stats
         for row in result.machine.stats.pair_rows():
-            rows.append({"app": app, "variant": variant, **row})
+            rows.append({"app": app, "variant": variant, **row,
+                         "fault_drops": stats.fault_drops,
+                         "retransmits": stats.retransmits,
+                         "acks": stats.acks,
+                         "dup_data_drops": stats.dup_data_drops})
     return rows
 
 
@@ -147,6 +159,9 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--out", default=None, help="output path (default stdout)")
     parser.add_argument("--scale", default=None, choices=[None, "paper", "bench"])
     parser.add_argument("--apps", nargs="*", default=None)
+    parser.add_argument("--faults", type=float, default=None, metavar="LOSS",
+                        help="traffic dataset only: run under uniform WAN "
+                             "loss (probability) with the reliable transport")
     args = parser.parse_args(argv)
 
     kwargs = {}
@@ -154,6 +169,10 @@ def main(argv: Optional[list] = None) -> None:
         kwargs["scale"] = args.scale
     if args.apps and args.dataset in ("figure3", "traffic"):
         kwargs["apps"] = args.apps
+    if args.faults is not None and args.dataset == "traffic":
+        from ..faults import FaultPlan
+
+        kwargs["faults"] = FaultPlan.wan_loss(args.faults)
     rows = DATASETS[args.dataset](**kwargs)
     text = to_csv(rows) if args.format == "csv" else to_json(rows)
     if args.out:

@@ -55,6 +55,10 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="simulate ground-truth grid points in N "
                              "parallel processes")
+    parser.add_argument("--blame", action="store_true",
+                        help="also print each panel's dominant-bottleneck "
+                             "letter grid (profiles every grid point; see "
+                             "repro.critpath)")
     args = parser.parse_args(argv)
 
     sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict,
@@ -68,6 +72,13 @@ def main(argv: Optional[list] = None) -> None:
             print(render_panel(grid))
             if args.predict and grid.validation is not None:
                 print(f"[whatif] {grid.validation.summary()}")
+            if args.blame:
+                from ..critpath.blame import blame_grid, render_blame_panel
+
+                letters = blame_grid(app, variant, scale=args.scale,
+                                     seed=args.seed)
+                print()
+                print(render_blame_panel(app, variant, letters))
             print()
 
 

@@ -15,6 +15,7 @@ Load the trace at https://ui.perfetto.dev (or ``chrome://tracing``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -55,6 +56,9 @@ def main(argv: Optional[list] = None) -> None:
                         help="Perfetto trace path (default <app>-<variant>.trace.json)")
     parser.add_argument("--report", default=None,
                         help="run report path (default <app>-<variant>.report.jsonl)")
+    parser.add_argument("--metrics", default=None, metavar="OUT.JSON",
+                        help="also dump the metrics registry snapshot "
+                             "(counters/gauges/histograms) as JSON")
     args = parser.parse_args(argv)
 
     out_path = args.out or f"{args.app}-{args.variant}.trace.json"
@@ -80,6 +84,10 @@ def main(argv: Optional[list] = None) -> None:
     metrics.finalize(result.runtime)
 
     events = perfetto.write(out_path)
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            json.dump(metrics.snapshot(), fh, sort_keys=True, indent=2)
+        print(f"wrote metrics snapshot to {args.metrics}", file=sys.stderr)
     with RunReporter(report_path) as reporter:
         reporter.emit(run_record(result.machine, result.runtime,
                                  result.wall_time, meta=meta, metrics=metrics))

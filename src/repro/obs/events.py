@@ -91,12 +91,25 @@ class BlockEvent:
 
 @dataclass(frozen=True)
 class UnblockEvent:
-    """A blocked receive completed; ``waited`` is the blocked interval."""
+    """A blocked receive completed; ``waited`` is the blocked interval.
+
+    The trailing fields describe the *releasing message* so subscribers
+    (notably the :mod:`repro.critpath` profiler) can attribute the wait
+    to its cause without correlating against the send/deliver streams:
+    ``src``/``size`` identify the message, ``send_time`` is when it
+    departed the sender (after host overhead), and ``inter_cluster``
+    tells which link class carried it.  They default to "unknown" so
+    hand-built events in older tests stay valid.
+    """
 
     time: float
     rank: int
     tag: Any
     waited: float
+    src: int = -1
+    size: int = 0
+    send_time: float = -1.0
+    inter_cluster: bool = False
 
 
 @dataclass(frozen=True)
@@ -186,6 +199,7 @@ class OpEvent:
     - ``"recv"`` — a blocking receive was *issued* (``tag``);
     - ``"recv_done"`` — that receive matched a message (``src``, ``size``);
     - ``"poll"`` — a non-blocking receive (``detail`` is the hit flag);
+    - ``"sleep"`` — a simulated-time timer (``duration``), no CPU charged;
     - ``"spawn"`` — a service process was started (``detail`` is its name).
     """
 

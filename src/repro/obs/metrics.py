@@ -134,6 +134,8 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """Upper-edge estimate of the ``p``-th percentile (0 < p <= 100)."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile out of range (0, 100]: {p}")
         if self.count == 0:
             return 0.0
         rank = math.ceil(self.count * p / 100.0)

@@ -9,8 +9,16 @@ Track layout:
 - pid 1 ``ranks`` — one thread per rank: compute slices, blocked-on-recv
   slices, collective-phase nesting (B/E), send/deliver instants.
 - pid 2 ``links`` — one thread per link (first-seen order): transfer
-  slices, plus a ``backlog_s`` counter track per link (queue depth).
-- pid 3 ``gateways`` — one thread per cluster gateway CPU: service slices.
+  slices, a ``backlog_s`` counter track per link (queue depth), and
+  fault instants (drops, latency spikes, link up/down transitions).
+- pid 3 ``gateways`` — one thread per cluster gateway CPU: service
+  slices plus a ``queued_s`` counter track (store-and-forward backlog).
+- pid 4 ``critical path`` — one slice per step of an extracted critical
+  path (see :meth:`PerfettoTrace.add_critical_path`), labelled with the
+  step kind and, for message edges, the dominant resource bucket.
+
+Reliable-transport retransmissions (``fault_retransmit``) land as
+instants on the sending rank's thread, next to the send they repeat.
 
 All timestamps are simulated microseconds.  The export is a pure function
 of the simulated event stream — the same seed produces byte-identical
@@ -23,12 +31,15 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from .events import (ComputeEvent, DeliverEvent, GatewayEvent, PhaseEvent,
-                     QueueEvent, SendEvent, UnblockEvent)
+from .events import (ComputeEvent, DeliverEvent, FaultDropEvent,
+                     FaultLinkEvent, FaultSpikeEvent, GatewayEvent,
+                     PhaseEvent, QueueEvent, RetransmitEvent, SendEvent,
+                     UnblockEvent)
 
 RANKS_PID = 1
 LINKS_PID = 2
 GATEWAYS_PID = 3
+CRITPATH_PID = 4
 
 
 def _us(t: float) -> float:
@@ -49,6 +60,7 @@ class PerfettoTrace:
         self._link_tids: Dict[str, int] = {}
         self._ranks_seen: Dict[int, bool] = {}
         self._clusters_seen: Dict[int, bool] = {}
+        self._has_critpath = False
 
     # ------------------------------------------------------------------
     def _add(self, event: Dict[str, Any]) -> None:
@@ -116,7 +128,72 @@ class PerfettoTrace:
                    "pid": GATEWAYS_PID, "tid": ev.cluster + 1,
                    "args": {"size": ev.size,
                             "queued_us": _us(ev.start - ev.time)}})
+        # Queue-depth counter: seconds of backlog when the message arrived.
+        self._add({"name": f"gw c{ev.cluster} queued_s", "cat": "gateway",
+                   "ph": "C", "ts": _us(ev.time), "pid": GATEWAYS_PID,
+                   "args": {"queued_s": round(ev.start - ev.time, 9)}})
         self._clusters_seen[ev.cluster] = True
+
+    def on_fault_drop(self, ev: FaultDropEvent) -> None:
+        self._add({"name": f"drop ({ev.reason})", "cat": "fault", "ph": "i",
+                   "s": "t", "ts": _us(ev.time), "pid": LINKS_PID,
+                   "tid": self._link_tid(ev.link),
+                   "args": {"src": ev.src, "dst": ev.dst, "size": ev.size,
+                            "tag": str(ev.tag),
+                            "send_time_us": _us(ev.send_time)}})
+
+    def on_fault_spike(self, ev: FaultSpikeEvent) -> None:
+        self._add({"name": "latency spike", "cat": "fault", "ph": "i",
+                   "s": "t", "ts": _us(ev.time), "pid": LINKS_PID,
+                   "tid": self._link_tid(ev.link),
+                   "args": {"base_latency_us": _us(ev.base_latency),
+                            "latency_us": _us(ev.latency),
+                            "size": ev.size}})
+
+    def on_fault_link(self, ev: FaultLinkEvent) -> None:
+        self._add({"name": f"link {ev.kind}", "cat": "fault", "ph": "i",
+                   "s": "t", "ts": _us(ev.time), "pid": LINKS_PID,
+                   "tid": self._link_tid(ev.link)})
+
+    def on_fault_retransmit(self, ev: RetransmitEvent) -> None:
+        self._add({"name": f"retransmit #{ev.attempt}", "cat": "fault",
+                   "ph": "i", "s": "t", "ts": _us(ev.time),
+                   "pid": RANKS_PID, "tid": self._rank_tid(ev.src),
+                   "args": {"dst": ev.dst, "seq": ev.seq,
+                            "rto_us": _us(ev.rto), "size": ev.size,
+                            "tag": str(ev.tag)}})
+
+    # ------------------------------------------------------------------
+    # Critical-path track
+    # ------------------------------------------------------------------
+    def add_critical_path(self, path) -> int:
+        """Render an extracted :class:`~repro.critpath.path.CriticalPath`
+        as a dedicated track (pid 4, one slice per step).
+
+        Call after the run, before :meth:`write`.  Message edges are
+        named by their dominant resource bucket and carry the per-edge
+        decomposition/slack in ``args``; other steps are named by kind.
+        Returns the number of slices added.
+        """
+        self._has_critpath = True
+        added = 0
+        for step in path.steps:
+            if step.kind == "edge":
+                name = f"edge [{step.resource}]"
+                args = {"src_rank": step.src_rank, "dst_rank": step.rank,
+                        "size": step.size, "wan_hops": step.hops,
+                        "slack_us": _us(step.slack)}
+                for bucket, v in sorted(step.components.items()):
+                    if v != 0.0:
+                        args[f"{bucket}_us"] = _us(v)
+            else:
+                name = f"{step.kind} {step.proc}"
+                args = {"rank": step.rank}
+            self._add({"name": name, "cat": "critpath", "ph": "X",
+                       "ts": _us(step.start), "dur": _us(step.length),
+                       "pid": CRITPATH_PID, "tid": 1, "args": args})
+            added += 1
+        return added
 
     # ------------------------------------------------------------------
     # Rendering
@@ -146,6 +223,9 @@ class PerfettoTrace:
             name_of(GATEWAYS_PID, "gateways")
             for cluster in sorted(self._clusters_seen):
                 thread(GATEWAYS_PID, cluster + 1, f"gw c{cluster}")
+        if self._has_critpath:
+            name_of(CRITPATH_PID, "critical path")
+            thread(CRITPATH_PID, 1, "critical path")
         return meta
 
     def to_dict(self) -> Dict[str, Any]:

@@ -207,7 +207,10 @@ class _Recv(Syscall):
             stats.recv_blocked_time += now - self.wait_start
         if bus.want_unblock:
             bus.emit("unblock", UnblockEvent(now, ctx.rank, tag,
-                                             now - self.wait_start))
+                                             now - self.wait_start,
+                                             msg.src, msg.size,
+                                             msg.send_time,
+                                             msg.inter_cluster))
         if bus.want_op:
             bus.emit("op", OpEvent(now, proc.name, ctx.rank, proc.daemon,
                                    "recv_done", src=msg.src,
@@ -223,6 +226,33 @@ class _Recv(Syscall):
             engine.call_at(end, proc.trampoline)
         else:
             engine.call_soon(proc.trampoline)
+
+
+class _Sleep(Syscall):
+    """Suspend for simulated time *visibly*: like the engine-level
+    :class:`~repro.sim.primitives.Sleep`, but published on the ``op``
+    topic so timer-driven protocols (work stealing retries) stay
+    observable to the probe-bus profilers.  Scheduling is identical to
+    the bare primitive, so runs are byte-identical with probes off."""
+
+    __slots__ = ("ctx", "duration", "in_flight")
+
+    def __init__(self, ctx: "Context", duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative sleep duration {duration!r}")
+        self.ctx = ctx
+        self.duration = duration
+        self.in_flight = False
+
+    def apply(self, proc: Process) -> None:
+        self.in_flight = False
+        ctx = self.ctx
+        bus = ctx._bus
+        if bus.want_op:
+            bus.emit("op", OpEvent(ctx._engine.now, proc.name, ctx.rank,
+                                   proc.daemon, "sleep",
+                                   duration=self.duration))
+        ctx._engine.call_after(self.duration, proc.trampoline)
 
 
 class _RecvNowait(Syscall):
@@ -312,6 +342,7 @@ class Context:
         self._send = _Send(self, 0, 0, None, None)
         self._recv = _Recv(self, None)
         self._recv_nowait = _RecvNowait(self, None)
+        self._sleep = _Sleep(self, 0.0)
 
     # ------------------------------------------------------------------
     # Topology conveniences
@@ -376,6 +407,24 @@ class Context:
             return _Recv(self, tag)
         sc.in_flight = True
         sc.tag = tag
+        return sc
+
+    def sleep(self, duration: float) -> Syscall:
+        """Suspend this process for ``duration`` simulated seconds.
+
+        Unlike :meth:`compute` no CPU is reserved or charged — the
+        process is simply parked, like a timer.  Unlike yielding the raw
+        :class:`~repro.sim.primitives.Sleep` primitive, the timer is
+        published as an ``op`` probe event, so profilers see it instead
+        of an unexplained gap in the process timeline.
+        """
+        if duration < 0:
+            raise ValueError(f"negative sleep duration {duration!r}")
+        sc = self._sleep
+        if sc.in_flight:
+            return _Sleep(self, duration)
+        sc.in_flight = True
+        sc.duration = duration
         return sc
 
     def recv_nowait(self, tag: Any) -> Syscall:

@@ -22,7 +22,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
-from ..sim.primitives import Sleep
 from .context import CONTROL_BYTES, Context
 
 TAG_CENTRAL = "wq-central"
@@ -201,8 +200,13 @@ class ClusterQueueService:
 
 
 def _steal_retry_timer(ctx: Context, delay: float) -> Generator:
-    """One-shot timer: after ``delay``, poke the local queue service."""
-    yield Sleep(delay)
+    """One-shot timer: after ``delay``, poke the local queue service.
+
+    ``ctx.sleep`` (not the bare ``Sleep`` primitive) keeps the timer
+    visible on the probe bus: without it the retry delay shows up in
+    profiles as an unexplained hole in the daemon's timeline.
+    """
+    yield ctx.sleep(delay)
     yield ctx.send(ctx.rank, CONTROL_BYTES, TAG_QUEUE, {"kind": "steal-retry"})
 
 

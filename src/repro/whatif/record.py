@@ -162,6 +162,13 @@ class Recorder:
                 proc.ops.append((OP_POLL, cid, k))
             else:
                 proc.ops.append((OP_POLL, -1, -1))
+        elif kind == "sleep":
+            # A timer is a fixed simulated delay; replaying it as compute
+            # preserves the duration but not the "no CPU reserved"
+            # semantics, so flag the recording — timer-driven protocols
+            # are timing-dependent anyway.
+            self._flag("sleep timer used")
+            proc.ops.append((OP_COMPUTE, event.duration))
         elif kind == "spawn":
             child = event.detail
             if child in self._by_name:

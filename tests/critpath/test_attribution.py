@@ -1,0 +1,66 @@
+"""Attribution-sum invariant across every app, variant, seed, and faults.
+
+The profiler's core contract: per-rank bucket totals telescope exactly
+over [0, wall], so their sum equals wall time to float precision.  This
+is asserted here for all six applications in both variants, two seeds,
+clean and under 1% WAN loss — the acceptance sweep from the issue.
+"""
+
+import math
+
+import pytest
+
+from repro.apps.base import VARIANTS
+from repro.critpath import profile_app
+from repro.experiments import grids
+from repro.faults import FaultPlan
+
+APPS = list(grids.APPS)
+SEEDS = (0, 7)
+
+#: The issue's tolerance; observed residuals are ~2e-16.
+TOLERANCE = 1e-9
+
+
+def _check_profile(profile):
+    for att in profile.per_rank:
+        assert abs(att.residual()) < TOLERANCE, (
+            f"rank {att.rank} residual {att.residual():.3e}")
+        assert att.total == pytest.approx(profile.wall, abs=TOLERANCE)
+    assert profile.max_residual() < TOLERANCE
+    assert math.fsum(profile.run_buckets.values()) == pytest.approx(
+        profile.wall, abs=TOLERANCE)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("app", APPS)
+def test_attribution_sums_to_wall_clean(app, variant, seed):
+    topo = grids.multi_cluster(0.95, 10.0)
+    _, profile = profile_app(app, variant, topo, scale="bench", seed=seed)
+    _check_profile(profile)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("app", APPS)
+def test_attribution_sums_to_wall_under_loss(app, variant):
+    topo = grids.multi_cluster(0.95, 10.0)
+    _, profile = profile_app(app, variant, topo, scale="bench", seed=0,
+                             faults=FaultPlan.wan_loss(0.01))
+    _check_profile(profile)
+
+
+def test_critical_path_totals_sum_to_wall():
+    """Path-step totals (compute + edges + waits + gaps) cover the wall."""
+    topo = grids.multi_cluster(0.95, 10.0)
+    for app in ("water", "asp"):
+        _, profile = profile_app(app, "unoptimized", topo, scale="bench")
+        path = profile.critical_path()
+        totals = path.totals()
+        assert math.fsum(totals.values()) == pytest.approx(
+            path.wall, rel=1e-9)
+        # The path must be contiguous and monotone from 0 to wall.
+        assert path.steps[0].start == pytest.approx(0.0, abs=1e-12)
+        assert path.steps[-1].end == pytest.approx(path.wall, rel=1e-12)
+        for prev, nxt in zip(path.steps, path.steps[1:]):
+            assert nxt.start == pytest.approx(prev.end, abs=1e-9)

@@ -1,0 +1,33 @@
+"""Dominant-bottleneck grid annotation (figure3/degraded --blame)."""
+
+from repro.critpath.blame import (blame_grid, dominant_bucket_at,
+                                  render_blame_panel)
+from repro.critpath.profile import BUCKET_LETTERS, BUCKETS
+
+
+def test_dominant_bucket_at_reference_point():
+    bucket = dominant_bucket_at("water", "unoptimized", 0.95, 10.0,
+                                clusters=2, cluster_size=2)
+    assert bucket in BUCKETS
+    # imbalance/unattributed are excluded from dominance by default.
+    assert bucket not in ("imbalance", "unattributed")
+
+
+def test_blame_grid_and_panel_single_point():
+    bandwidths = [6.3]
+    latencies = [0.5, 100.0]
+    grid = blame_grid("water", "unoptimized", bandwidths, latencies,
+                      scale="bench")
+    assert set(grid) == {(6.3, 0.5), (6.3, 100.0)}
+    panel = render_blame_panel("water", "unoptimized", grid,
+                               bandwidths, latencies)
+    assert "WATER unoptimized" in panel
+    assert "legend:" in panel
+    for bucket in grid.values():
+        assert BUCKET_LETTERS[bucket] in panel
+
+
+def test_high_latency_shifts_blame_toward_wan():
+    """At 300 ms WAN latency the dominant bucket must be WAN-related."""
+    bucket = dominant_bucket_at("asp", "unoptimized", 6.3, 300.0)
+    assert bucket in ("lat_wan", "wait", "queue")

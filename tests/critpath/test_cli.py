@@ -1,0 +1,73 @@
+"""End-to-end tests for ``python -m repro profile``."""
+
+import json
+
+import pytest
+
+from repro.critpath import cli
+
+ARGS = ["--clusters", "2", "--cluster-size", "2", "--lat", "10", "--bw", "1"]
+
+
+def test_text_report(capsys):
+    cli.main(["water", "--variant", "unoptimized"] + ARGS)
+    out = capsys.readouterr().out
+    assert "water unoptimized" in out
+    assert "wall time" in out
+    assert "critical path" in out
+    assert "dominant bottleneck:" in out
+
+
+def test_json_report(capsys):
+    cli.main(["asp", "--variant", "unoptimized", "--json"] + ARGS)
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["meta"]["app"] == "asp"
+    prof = doc["profile"]
+    assert set(prof) >= {"wall_time_s", "attribution", "critical_path",
+                         "sensitivity"}
+    # The exported buckets keep the sum-to-wall identity.
+    for rank_doc in prof["attribution"]["per_rank"]:
+        assert sum(rank_doc["buckets"].values()) == pytest.approx(
+            prof["wall_time_s"], rel=1e-9)
+
+
+def test_perfetto_export_has_critpath_track(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    cli.main(["water", "--variant", "unoptimized", "--out", str(out)] + ARGS)
+    trace = json.loads(out.read_text())
+    events = trace["traceEvents"]
+    from repro.obs.perfetto import CRITPATH_PID
+
+    crit = [e for e in events if e.get("pid") == CRITPATH_PID
+            and e.get("ph") == "X"]
+    assert crit, "no critical-path slices in the trace"
+    edge_slices = [e for e in crit if e["name"].startswith("edge")]
+    assert edge_slices
+    args = edge_slices[0]["args"]
+    assert "slack_us" in args
+    assert any(k.endswith("_us") and k != "slack_us" for k in args)
+    # Track metadata names the synthetic critical-path process.
+    metas = [e for e in events if e.get("ph") == "M"
+             and e.get("pid") == CRITPATH_PID]
+    assert metas
+
+
+def test_run_report_carries_critpath_metrics(tmp_path, capsys):
+    report = tmp_path / "runs.jsonl"
+    cli.main(["water", "--variant", "unoptimized",
+              "--report", str(report)] + ARGS)
+    lines = [json.loads(l) for l in report.read_text().splitlines()
+             if '"run"' in l or '"metrics"' in l or True]
+    records = [l for l in lines if l.get("meta", {}).get("harness") == "profile"]
+    assert records
+    metrics = records[0]["metrics"]
+    assert "critpath.wall_s" in metrics
+    assert any(k.startswith("critpath.run.") for k in metrics)
+
+
+def test_faults_flag(capsys):
+    cli.main(["water", "--variant", "unoptimized", "--faults", "0.2",
+              "--json"] + ARGS)
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["meta"]["wan_loss"] == 0.2
+    assert doc["profile"]["retransmits_seen"] > 0

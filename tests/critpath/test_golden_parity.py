@@ -1,0 +1,75 @@
+"""Profiled runs must be byte-identical to the golden fingerprints.
+
+The profiler is a pure observer: attaching it turns probe topics on but
+must not perturb event ordering or any floating-point result.  Every
+application and variant at seed 0 is re-run with a :class:`Profiler`
+subscribed and compared repr-exactly against
+``tests/goldens/app_fingerprints.json`` — the same goldens the
+un-instrumented hot path is held to.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.apps import app_names, default_config, run_app
+from repro.critpath import Profiler
+from repro.network import das_topology
+from repro.obs.bus import ProbeBus
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent.parent / "goldens"
+               / "app_fingerprints.json")
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+SEED = 0
+VARIANTS = ("unoptimized", "optimized")
+
+
+def profiled_fingerprint(app, variant, seed):
+    """Identical to tests/test_golden_fingerprints.fingerprint, plus an
+    attached profiler — the only variable under test."""
+    topo = das_topology(clusters=4, cluster_size=8,
+                        wan_latency_ms=10.0, wan_bandwidth_mbyte_s=1.0)
+    config = default_config(app, "bench")
+    bus = ProbeBus()
+    profiler = Profiler(topo)
+    bus.attach(profiler)
+    r = run_app(app, variant, topo, config=config, seed=seed, bus=bus)
+    summary = r.traffic_summary()
+    fp = {
+        "runtime": repr(r.runtime),
+        "total_messages": r.stats.total_messages,
+        "summary": {k: repr(v) for k, v in sorted(summary.items())},
+        "rank_stats": [
+            {
+                "compute_time": repr(s.compute_time),
+                "send_overhead_time": repr(s.send_overhead_time),
+                "recv_overhead_time": repr(s.recv_overhead_time),
+                "recv_blocked_time": repr(s.recv_blocked_time),
+                "messages_sent": s.messages_sent,
+                "messages_received": s.messages_received,
+                "bytes_sent": s.bytes_sent,
+                "finish_time": repr(s.finish_time),
+            }
+            for s in r.rank_stats
+        ],
+    }
+    return fp, r, profiler
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("app", sorted(app_names()))
+def test_profiled_run_matches_golden_fingerprint(app, variant):
+    golden = GOLDENS[f"{app}/{variant}/seed{SEED}"]
+    got, result, profiler = profiled_fingerprint(app, variant, SEED)
+    assert got["runtime"] == golden["runtime"]
+    assert got["total_messages"] == golden["total_messages"]
+    assert got["summary"] == golden["summary"]
+    for rank, (g, want) in enumerate(zip(got["rank_stats"],
+                                         golden["rank_stats"])):
+        assert g == want, f"rank {rank} statistics drifted under profiling"
+    # The attribution finalizes against those same untouched machine stats.
+    profile = profiler.finalize(result.machine)
+    assert profile.wall == result.runtime
+    assert profile.max_residual() < 1e-9

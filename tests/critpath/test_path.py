@@ -1,0 +1,121 @@
+"""Structural tests for the backward critical-path walk."""
+
+import math
+
+import pytest
+
+from repro.critpath import compute_critical_path, profile_run
+from repro.network import das_topology
+
+SIZE = 4096
+
+
+def two_cluster_topo(lat_ms=10.0, bw=2.0):
+    return das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=lat_ms, wan_bandwidth_mbyte_s=bw)
+
+
+def test_simple_chain_shape():
+    """compute -> send -> edge -> recv -> compute, in forward order."""
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.05)
+            yield ctx.send(3, SIZE, "m")
+        elif ctx.rank == 3:
+            yield ctx.recv("m")
+            yield ctx.compute(0.02)
+
+    _, profile = profile_run(topo, body)
+    path = profile.critical_path()
+    kinds = [s.kind for s in path.steps]
+    assert kinds[0] == "compute"          # rank 0's 50 ms
+    assert "edge" in kinds                # the WAN message
+    assert kinds[-1] == "compute"         # rank 3's 20 ms
+    edge = path.steps[kinds.index("edge")]
+    assert edge.src_rank == 0
+    assert edge.rank == 3
+    assert edge.size == SIZE
+    assert edge.resource == "lat_wan"  # 10 ms WAN latency dominates
+    assert edge.hops >= 1
+    # Fully exposed message: the receiver was already blocked.
+    assert edge.slack == pytest.approx(0.0, abs=1e-12)
+    # Edge spans the full transit from depart to release.
+    assert math.fsum(edge.components.values()) == pytest.approx(
+        edge.length, rel=1e-9)
+
+
+def test_edge_slack_when_receiver_busy():
+    """Transit overlapped by receiver compute shows up as slack."""
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(3, SIZE, "m")
+        elif ctx.rank == 3:
+            yield ctx.compute(0.008)   # overlaps most of the ~13ms transit
+            yield ctx.recv("m")
+
+    _, profile = profile_run(topo, body)
+    path = profile.critical_path()
+    edges = [s for s in path.steps if s.kind == "edge"]
+    assert len(edges) == 1
+    # The message departed just after t=0 (one send overhead) but the
+    # receiver only blocked at 8 ms: that hidden overlap is the slack.
+    assert edges[0].slack == pytest.approx(
+        0.008 - topo.wide.send_overhead, rel=1e-9)
+
+
+def test_path_is_contiguous_and_spans_wall():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        peer = {0: 1, 1: 0, 2: 3, 3: 2}[ctx.rank]
+        for i in range(5):
+            yield ctx.compute(0.001 * (ctx.rank + 1))
+            yield ctx.send(peer, 512, ("p", i))
+            yield ctx.recv(("p", i))
+
+    result, profile = profile_run(topo, body)
+    path = profile.critical_path()
+    assert path.wall == result.runtime
+    assert path.steps[0].start == pytest.approx(0.0, abs=1e-12)
+    assert path.steps[-1].end == pytest.approx(path.wall, rel=1e-12)
+    for prev, nxt in zip(path.steps, path.steps[1:]):
+        assert nxt.start == pytest.approx(prev.end, abs=1e-9)
+    totals = path.totals()
+    assert math.fsum(totals.values()) == pytest.approx(path.wall, rel=1e-9)
+
+
+def test_compute_critical_path_is_deterministic():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.01)
+            yield ctx.send(2, SIZE, "m")
+        elif ctx.rank == 2:
+            yield ctx.recv("m")
+
+    _, profile = profile_run(topo, body)
+    first = compute_critical_path(profile)
+    second = compute_critical_path(profile)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_path_to_dict_caps_steps():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        peer = {0: 1, 1: 0, 2: 3, 3: 2}[ctx.rank]
+        for i in range(20):
+            yield ctx.compute(0.0001)
+            yield ctx.send(peer, 128, ("q", i))
+            yield ctx.recv(("q", i))
+
+    _, profile = profile_run(topo, body)
+    path = profile.critical_path()
+    doc = path.to_dict(max_steps=5)
+    assert doc["num_steps"] == len(path.steps)
+    assert len(doc["longest_steps"]) == 5

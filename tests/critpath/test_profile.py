@@ -1,0 +1,202 @@
+"""Unit tests for the critical-path profiler's ledger and attribution.
+
+Hand-built two-message scenarios where every analytic component (local
+latency, WAN latency, bandwidth serialization, gateway service, sender
+wait) is known in closed form, asserted against the profiler's buckets.
+"""
+
+import math
+
+import pytest
+
+from repro.critpath import BUCKETS, Profiler, profile_run
+from repro.network import das_topology
+
+SIZE = 4096
+
+
+def two_cluster_topo(lat_ms=10.0, bw=2.0):
+    return das_topology(clusters=2, cluster_size=2,
+                        wan_latency_ms=lat_ms, wan_bandwidth_mbyte_s=bw)
+
+
+def run_profiled(topo, body, seed=0):
+    result, profile = profile_run(topo, body, seed=seed)
+    return result, profile
+
+
+def test_buckets_sum_to_wall_exactly():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        yield ctx.compute(0.01 * (ctx.rank + 1))
+        if ctx.rank == 0:
+            yield ctx.send(3, SIZE, "m")
+        elif ctx.rank == 3:
+            yield ctx.recv("m")
+
+    result, profile = run_profiled(topo, body)
+    assert profile.wall == result.runtime
+    for att in profile.per_rank:
+        assert abs(att.residual()) < 1e-12
+        assert att.total == pytest.approx(profile.wall, abs=1e-12)
+    # The whole-run mean preserves the identity too.
+    assert math.fsum(profile.run_buckets.values()) == pytest.approx(
+        profile.wall, abs=1e-12)
+
+
+def test_inter_cluster_wait_decomposition_closed_form():
+    topo = two_cluster_topo(lat_ms=10.0, bw=2.0)
+    local, wide = topo.local, topo.wide
+    compute_s = 0.05
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(compute_s)
+            yield ctx.send(3, SIZE, "late")
+        elif ctx.rank == 3:
+            yield ctx.recv("late")  # blocks at t=0, long before the send
+
+    result, profile = run_profiled(topo, body)
+    b = profile.per_rank[3].buckets
+    send_time = compute_s + wide.send_overhead
+    # Receiver blocked from 0; everything before the depart is sender wait.
+    assert b["wait"] == pytest.approx(send_time, rel=1e-12)
+    # Analytic transit components of the uncontended two-layer path.
+    assert b["lat_local"] == pytest.approx(2 * local.latency, rel=1e-9)
+    assert b["bw_local"] == pytest.approx(2 * SIZE / local.bandwidth, rel=1e-9)
+    assert b["lat_wan"] == pytest.approx(wide.latency, rel=1e-9)
+    assert b["bw_wan"] == pytest.approx(SIZE / wide.bandwidth, rel=1e-9)
+    assert b["gateway"] == pytest.approx(2 * topo.gateway_overhead, rel=1e-9)
+    # Uncontended: no queueing or retry residual beyond float dust.
+    assert abs(b["queue"]) < 1e-9
+    assert b["retry"] == 0.0
+    assert b["compute"] == 0.0
+    # Receive overhead lands in the overhead bucket.
+    assert b["overhead"] == pytest.approx(wide.recv_overhead, rel=1e-12)
+    assert abs(profile.per_rank[3].residual()) < 1e-12
+
+
+def test_intra_cluster_wait_decomposition_closed_form():
+    topo = two_cluster_topo()
+    local = topo.local
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.02)
+            yield ctx.send(1, SIZE, "m")
+        elif ctx.rank == 1:
+            yield ctx.recv("m")
+
+    result, profile = run_profiled(topo, body)
+    b = profile.per_rank[1].buckets
+    assert b["lat_local"] == pytest.approx(local.latency, rel=1e-9)
+    assert b["bw_local"] == pytest.approx(SIZE / local.bandwidth, rel=1e-9)
+    assert b["lat_wan"] == 0.0
+    assert b["bw_wan"] == 0.0
+    assert b["gateway"] == 0.0
+    assert b["wait"] == pytest.approx(0.02 + local.send_overhead, rel=1e-12)
+
+
+def test_imbalance_and_sleep_buckets():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.03)
+        elif ctx.rank == 1:
+            yield ctx.sleep(0.01)
+
+    result, profile = run_profiled(topo, body)
+    assert profile.wall == pytest.approx(0.03)
+    b0 = profile.per_rank[0].buckets
+    b1 = profile.per_rank[1].buckets
+    assert b0["compute"] == pytest.approx(0.03)
+    assert b0["imbalance"] == 0.0
+    assert b1["sleep"] == pytest.approx(0.01)
+    assert b1["imbalance"] == pytest.approx(0.02)
+    # Ranks that do nothing are pure imbalance.
+    assert profile.per_rank[2].buckets["imbalance"] == pytest.approx(0.03)
+
+
+def test_cpu_wait_when_daemon_contends():
+    """A service on the same rank makes main computes queue on the CPU."""
+    topo = two_cluster_topo()
+
+    def service(ctx):
+        yield ctx.compute(0.02)
+
+    def body(ctx):
+        if ctx.rank == 0:
+            ctx.spawn_service(service, name="burn")
+            yield ctx.sleep(0.001)   # let the daemon reserve the clock
+            yield ctx.compute(0.01)  # queues behind its reservation
+        else:
+            yield ctx.compute(0.001)
+
+    result, profile = run_profiled(topo, body)
+    b = profile.per_rank[0].buckets
+    assert b["compute"] == pytest.approx(0.01)
+    assert b["sleep"] == pytest.approx(0.001)
+    # The daemon holds the CPU until 0.02; main's compute started at 0.001.
+    assert b["cpu_wait"] == pytest.approx(0.019, rel=1e-9)
+    assert abs(profile.per_rank[0].residual()) < 1e-12
+
+
+def test_retry_bucket_under_wan_loss():
+    from repro.faults import FaultPlan
+
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        if ctx.rank == 0:
+            for i in range(40):
+                yield ctx.send(3, 256, ("m", i))
+        elif ctx.rank == 3:
+            for i in range(40):
+                yield ctx.recv(("m", i))
+
+    result, profile = profile_run(topo, body, faults=FaultPlan.wan_loss(0.2))
+    assert profile.profiler.retransmits > 0
+    b = profile.per_rank[3].buckets
+    # Loss recovery shows up as retry (RTO stalls) and queue (HOL waits).
+    assert b["retry"] > 0.0
+    assert abs(profile.per_rank[3].residual()) < 1e-9
+
+
+def test_profiler_is_pure_observer_of_machine_results():
+    """Runtime with the profiler attached equals the bare runtime."""
+    from repro.runtime.run import run_spmd
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.compute(0.01)
+            yield ctx.send(3, SIZE, "m")
+        elif ctx.rank == 3:
+            msg = yield ctx.recv("m")
+            yield ctx.compute(0.005)
+
+    bare = run_spmd(two_cluster_topo(), body, seed=3)
+    result, profile = profile_run(two_cluster_topo(), body, seed=3)
+    assert repr(result.runtime) == repr(bare.runtime)
+
+
+def test_bucket_letters_cover_all_buckets():
+    from repro.critpath import BUCKET_LETTERS
+
+    assert set(BUCKET_LETTERS) == set(BUCKETS)
+    letters = list(BUCKET_LETTERS.values())
+    assert len(letters) == len(set(letters)), "letter codes must be unique"
+
+
+def test_metrics_registry_export():
+    topo = two_cluster_topo()
+
+    def body(ctx):
+        yield ctx.compute(0.01)
+
+    result, profile = run_profiled(topo, body)
+    snap = profile.metrics_registry().snapshot()
+    assert snap["critpath.wall_s"] == profile.wall
+    assert snap["critpath.run.compute_s"] == pytest.approx(0.01)
+    assert "critpath.wan_latency_traversals" in snap

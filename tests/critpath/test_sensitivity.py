@@ -1,0 +1,63 @@
+"""Slack-based latency-sensitivity prediction vs. direct simulation.
+
+The profiler's critical path counts WAN latency traversals on the path;
+a first-order prediction of the slowdown from raising WAN latency is
+``traversals * delta_lat / T``.  The paper's Figure-3 ordering (ASP most
+latency-sensitive, then Water, Barnes, FFT least) must fall out of the
+path structure alone — asserted here against the directly simulated
+ratio T(30ms) / T(0.5ms) at 6.3 MByte/s.
+"""
+
+import pytest
+
+from repro.apps import run_app
+from repro.critpath import profile_app
+from repro.experiments import grids
+
+BW = 6.3
+LAT_LO_MS = 0.5
+LAT_HI_MS = 30.0
+
+#: Figure-3 latency-sensitivity ordering at high bandwidth.
+EXPECTED_ORDER = ["asp", "water", "barnes", "fft"]
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for app in EXPECTED_ORDER:
+        topo_lo = grids.multi_cluster(BW, LAT_LO_MS)
+        topo_hi = grids.multi_cluster(BW, LAT_HI_MS)
+        result_lo, profile = profile_app(app, "unoptimized", topo_lo,
+                                         scale="bench", seed=0)
+        result_hi = run_app(app, "unoptimized", topo_hi, scale="bench",
+                            seed=0)
+        sens = profile.critical_path().sensitivity()
+        delta = (LAT_HI_MS - LAT_LO_MS) * 1e-3
+        predicted = sens["wan_latency_traversals"] * delta / result_lo.runtime
+        actual = result_hi.runtime / result_lo.runtime - 1.0
+        out[app] = {"predicted": predicted, "actual": actual,
+                    "traversals": sens["wan_latency_traversals"]}
+    return out
+
+
+def test_predicted_ranking_matches_figure3(measurements):
+    by_predicted = sorted(measurements, reverse=True,
+                          key=lambda a: measurements[a]["predicted"])
+    by_actual = sorted(measurements, reverse=True,
+                       key=lambda a: measurements[a]["actual"])
+    assert by_predicted == EXPECTED_ORDER
+    assert by_actual == EXPECTED_ORDER
+
+
+def test_prediction_tracks_actual_slowdown(measurements):
+    """First-order prediction within 25% of the simulated slowdown."""
+    for app, m in measurements.items():
+        assert m["predicted"] == pytest.approx(m["actual"], rel=0.25), (
+            f"{app}: predicted {m['predicted']:.3f} vs actual "
+            f"{m['actual']:.3f}")
+
+
+def test_traversals_positive_for_communicating_apps(measurements):
+    for app, m in measurements.items():
+        assert m["traversals"] > 0

@@ -80,3 +80,22 @@ def test_traffic_rows_pair_matrix():
     # Directional pairs are unique and sorted.
     pairs = [(r["src_cluster"], r["dst_cluster"]) for r in rows]
     assert pairs == sorted(set(pairs))
+    # Clean runs still carry the fault counter columns, all zero.
+    for row in rows:
+        assert row["fault_drops"] == 0
+        assert row["retransmits"] == 0
+        assert row["acks"] == 0
+        assert row["dup_data_drops"] == 0
+
+
+def test_traffic_rows_under_wan_loss_count_faults():
+    from repro.faults import FaultPlan
+
+    rows = traffic_rows(apps=["asp"], faults=FaultPlan.wan_loss(0.05))
+    assert rows
+    # Run-level counters are repeated on every pair row of the app.
+    drops = {r["fault_drops"] for r in rows}
+    resent = {r["retransmits"] for r in rows}
+    assert len(drops) == 1 and drops.pop() > 0
+    assert len(resent) == 1 and resent.pop() > 0
+    assert all(r["acks"] > 0 for r in rows)

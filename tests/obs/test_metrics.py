@@ -69,6 +69,41 @@ def test_histogram_empty_and_bad_args():
         Histogram(bins_per_decade=0)
 
 
+def test_histogram_single_sample_snapshot():
+    h = Histogram()
+    h.observe(0.042)
+    snap = h.snapshot()
+    assert snap["count"] == 1
+    assert snap["mean"] == pytest.approx(0.042)
+    assert snap["min"] == 0.042
+    assert snap["max"] == 0.042
+    # With one sample every percentile collapses to it (max-clamped).
+    assert snap["p50"] == 0.042
+    assert snap["p95"] == 0.042
+    assert snap["p99"] == 0.042
+
+
+def test_histogram_p999_tail():
+    h = Histogram(lo=1e-6, hi=10.0, bins_per_decade=20)
+    for _ in range(1000):
+        h.observe(0.001)
+    h.observe(1.0)
+    h.observe(1.0)  # >0.1% of samples in the tail
+    # p99 sits in the body, p99.9 reaches the outliers' bin.
+    assert h.percentile(99) <= 0.0015
+    assert h.percentile(99.9) >= 0.5
+    assert h.percentile(99.9) <= 1.0  # clamped to the observed max
+
+
+def test_histogram_percentile_rejects_out_of_range():
+    h = Histogram()
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
 def test_registry_get_or_create_and_type_check():
     reg = MetricsRegistry()
     assert reg.counter("a") is reg.counter("a")

@@ -105,3 +105,59 @@ def test_write_roundtrip(tmp_path):
     doc = json.loads(path.read_text())
     assert doc["displayTimeUnit"] == "ms"
     assert len(doc["traceEvents"]) == count + len(perfetto._metadata())
+
+
+def test_gateway_queue_depth_counter_track():
+    topo = small_topo()
+    perfetto = PerfettoTrace(topology=topo)
+    bus = ProbeBus()
+    bus.attach(perfetto)
+
+    def body(ctx):
+        if ctx.rank == 0:
+            yield ctx.send(3, 4096, "m")  # crosses both gateways
+        elif ctx.rank == 3:
+            yield ctx.recv("m")
+
+    run_spmd(topo, body, bus=bus)
+    counters = [e for e in perfetto.to_dict()["traceEvents"]
+                if e["ph"] == "C" and "queued_s" in e["name"]]
+    assert counters, "expected a queued_s counter per gateway hop"
+    for c in counters:
+        assert c["pid"] == GATEWAYS_PID
+        assert c["args"]["queued_s"] >= 0.0
+
+
+def test_fault_instants_on_link_and_rank_tracks():
+    from repro.faults import FaultPlan
+
+    topo = small_topo()
+    perfetto = PerfettoTrace(topology=topo)
+    bus = ProbeBus()
+    bus.attach(perfetto)
+
+    def body(ctx):
+        if ctx.rank == 0:
+            for i in range(30):
+                yield ctx.send(3, 256, ("m", i))
+        elif ctx.rank == 3:
+            for i in range(30):
+                yield ctx.recv(("m", i))
+
+    run_spmd(topo, body, bus=bus, faults=FaultPlan.wan_loss(0.3))
+    events = perfetto.to_dict()["traceEvents"]
+    faults = [e for e in events if e.get("cat") == "fault"]
+    assert faults, "expected fault instant events under 30% WAN loss"
+    assert all(e["ph"] == "i" for e in faults)
+    drops = [e for e in faults if e["name"].startswith("drop")]
+    resends = [e for e in faults if e["name"].startswith("retransmit")]
+    assert drops and resends
+    # Retransmit markers sit on the sending rank's track.
+    assert all(e["pid"] == RANKS_PID for e in resends)
+    # Drops annotate the faulty link's track.
+    assert all(e["pid"] == LINKS_PID for e in drops)
+
+
+def test_fault_free_run_has_no_fault_events():
+    doc = json.loads(traced_app_json())
+    assert not [e for e in doc["traceEvents"] if e.get("cat") == "fault"]

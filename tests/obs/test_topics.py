@@ -1,0 +1,61 @@
+"""Probe-topic name stability.
+
+Downstream subscribers (profiler, sanitizer, perfetto, metrics, run
+reports) key off these topic strings; renaming one silently detaches
+every ``on_<topic>`` handler that spelled the old name.  This registry
+test freezes the exact tuple: extending it is fine (append here too),
+renaming or reordering is a breaking change and must fail loudly.
+"""
+
+import pytest
+
+from repro.obs.bus import TOPICS, ProbeBus
+
+#: The frozen public topic registry.  Append-only.
+EXPECTED_TOPICS = (
+    "send",
+    "deliver",
+    "compute",
+    "queue",
+    "gateway",
+    "block",
+    "unblock",
+    "phase",
+    "op",
+    "fault_drop",
+    "fault_spike",
+    "fault_link",
+    "fault_retransmit",
+    "traffic_intra",
+    "traffic_inter",
+)
+
+
+def test_topic_names_are_stable():
+    assert TOPICS == EXPECTED_TOPICS
+
+
+def test_every_topic_has_want_flag_and_subscribe():
+    bus = ProbeBus()
+    for topic in EXPECTED_TOPICS:
+        assert getattr(bus, f"want_{topic}") is False
+        bus.subscribe(topic, lambda ev: None)
+        assert getattr(bus, f"want_{topic}") is True
+
+
+def test_unknown_topic_rejected():
+    bus = ProbeBus()
+    with pytest.raises(ValueError):
+        bus.subscribe("no_such_topic", lambda ev: None)
+
+
+def test_attach_wires_all_handler_methods():
+    class Everything:
+        def __init__(self):
+            for t in EXPECTED_TOPICS:
+                setattr(self, f"on_{t}", lambda ev: None)
+
+    bus = ProbeBus()
+    bus.attach(Everything())
+    for topic in EXPECTED_TOPICS:
+        assert getattr(bus, f"want_{topic}") is True

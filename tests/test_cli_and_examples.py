@@ -50,6 +50,24 @@ class TestCli:
         assert records[0]["meta"]["harness"] == "trace"
         assert "metrics" in records[0]
 
+    def test_trace_metrics_flag_dumps_snapshot(self, capsys, tmp_path,
+                                               monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "asp", "--clusters", "2", "--cluster-size", "2",
+                     "--metrics", "metrics.json"]) == 0
+        snap = json.loads((tmp_path / "metrics.json").read_text())
+        assert snap["messages.total"] > 0
+        assert "message.latency_s" in snap
+        assert snap["message.latency_s"]["count"] > 0
+
+    def test_profile_command_reports_attribution(self, capsys):
+        assert main(["profile", "water", "--variant", "unoptimized",
+                     "--clusters", "2", "--cluster-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dominant bottleneck:" in out
+
 
 def run_example(name, argv=()):
     path = EXAMPLES / name
