@@ -1,0 +1,110 @@
+"""Service throughput: one Water sweep job at three cache hit rates.
+
+Measures the end-to-end cost of a job through the full serve stack —
+HTTP submit, admission, per-point cache lookups, process-pool dispatch,
+JSON-lines streaming, client merge — for the same 3x3 grid (9 points +
+baseline = 10 units of work) against a cold (0%), half-seeded (50%),
+and fully warm (100%) cache.  The spread between the cold and warm
+numbers is the value of content-addressed dedup: a warm job never
+touches a worker process.
+
+Recorded into ``BENCH_simperf.json`` by ``python -m repro bench`` as
+``serve_points_per_s_{cold,50pct_cache,warm}`` (10 units per round).
+"""
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.experiments.cache import SimCache
+from repro.serve.client import ServeClient
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeServer
+
+SPEC = {"app": "water", "bandwidths": [6.3, 2.0, 0.95],
+        "latencies": [0.5, 2.0, 5.0]}          # 9 points + baseline
+
+
+class _Serve:
+    """A live server on a background loop + the keys of SPEC's points."""
+
+    def __init__(self, cache_root):
+        self.cache = SimCache(str(cache_root))
+        self.scheduler = Scheduler(self.cache, workers=2)
+        self.server = ServeServer(self.scheduler, host="127.0.0.1", port=0)
+        self.loop = asyncio.new_event_loop()
+        addresses = self.loop.run_until_complete(self.server.start())
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.client = ServeClient(addresses[0], timeout=600)
+        spec = JobSpec.from_json(SPEC)
+        self.keys = [spec.cache_key(None, None)] + \
+            [spec.cache_key(bw, lat) for bw, lat in spec.points()]
+
+    def run_job(self):
+        records = list(self.client.submit_and_stream(SPEC))
+        end = records[-1]
+        assert end["state"] == "done", end
+        return end
+
+    def drop(self, keys):
+        for key in keys:
+            try:
+                os.unlink(self.cache._path(key))
+            except OSError:
+                pass
+
+    def close(self):
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                                  self.loop)
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def serve(tmp_path_factory):
+    harness = _Serve(tmp_path_factory.mktemp("serve-bench"))
+    # Warm the worker pool and the cache once, outside any timed round.
+    harness.run_job()
+    yield harness
+    harness.close()
+
+
+def _bench_job(benchmark, serve, setup, expected_hit_rate):
+    def run():
+        return serve.run_job()
+
+    end = benchmark.pedantic(run, setup=setup, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    assert end["points_done"] == len(serve.keys)
+    assert end["hit_rate"] == pytest.approx(expected_hit_rate)
+
+
+def test_serve_throughput_cold(benchmark, serve):
+    """0% hit rate: every point is simulated in the worker pool."""
+    _bench_job(benchmark, serve, lambda: serve.cache.clear() and None,
+               expected_hit_rate=0.0)
+
+
+def test_serve_throughput_mixed(benchmark, serve):
+    """50% hit rate: baseline + 4 points seeded, 5 points simulated."""
+    _bench_job(benchmark, serve, lambda: serve.drop(serve.keys[5:]),
+               expected_hit_rate=0.5)
+
+
+def test_serve_throughput_warm(benchmark, serve):
+    """100% hit rate: the whole job streams from cache, zero dispatches."""
+    def check_warm():
+        end = serve.run_job()
+        assert end["dispatched"] == 0
+        return end
+
+    end = benchmark.pedantic(check_warm, rounds=1, iterations=1,
+                             warmup_rounds=0)
+    assert end["hit_rate"] == 1.0

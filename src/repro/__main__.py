@@ -28,6 +28,7 @@ from .experiments import cache as cache_cli
 from .faults import cli as chaos_cli
 from .lint import cli as lint_cli
 from .obs import cli as trace_cli
+from .serve import cli as serve_cli
 from .whatif import cli as whatif_cli
 
 COMMANDS = {
@@ -51,6 +52,8 @@ COMMANDS = {
     "lint": (lint_cli.main, "Static determinism/protocol lint over app modules"),
     "chaos": (chaos_cli.main, "Run one app under an injected WAN fault plan"),
     "degraded": (degraded.main, "Figure 3 re-run under fixed WAN loss rates"),
+    "serve": (serve_cli.serve_main, "Run the simulation-as-a-service front end"),
+    "submit": (serve_cli.submit_main, "Submit a job to a running serve instance"),
 }
 
 

@@ -35,13 +35,24 @@ DEFAULT_PATH = "BENCH_simperf.json"
 #: Allowed fractional drop in throughput before --check fails.
 REGRESSION_TOLERANCE = 0.20
 
+#: Benchmark files the trajectory is measured from.
+BENCH_FILES = (
+    "benchmarks/test_simulator_perf.py",
+    "benchmarks/test_serve_throughput.py",
+)
+
 #: Nominal operations per benchmark round, used to turn pytest-benchmark's
 #: min wall time into a throughput.  These mirror the benchmark bodies in
-#: benchmarks/test_simulator_perf.py.
+#: the BENCH_FILES.
 OPS_PER_ROUND = {
     "test_engine_event_throughput": ("engine_events_per_s", 50_000),
     "test_process_switch_throughput": ("process_switches_per_s", 10_020),
     "test_message_pipeline_throughput": ("messages_per_s", 2_000),
+    # One 3x3 Water sweep job through repro.serve = 10 units of work
+    # (9 grid points + the baseline) at each cache hit rate.
+    "test_serve_throughput_cold": ("serve_points_per_s_cold", 10),
+    "test_serve_throughput_mixed": ("serve_points_per_s_50pct_cache", 10),
+    "test_serve_throughput_warm": ("serve_points_per_s_warm", 10),
 }
 
 #: Wall-time metric (lower is better) — one bench-scale Water run.
@@ -49,7 +60,7 @@ WALL_TIME_BENCH = "test_full_app_run_wall_time"
 WALL_TIME_METRIC = "water_run_wall_s"
 
 
-def run_benchmarks(bench_file: str = "benchmarks/test_simulator_perf.py") -> Dict:
+def run_benchmarks(bench_files=BENCH_FILES) -> Dict:
     """Run the perf benchmarks in a subprocess; return pytest-benchmark JSON."""
     fd, json_path = tempfile.mkstemp(suffix=".json", prefix="bench_")
     os.close(fd)
@@ -59,7 +70,7 @@ def run_benchmarks(bench_file: str = "benchmarks/test_simulator_perf.py") -> Dic
         # Benchmark harness code: the subprocess is the point here,
         # no simulated process is anywhere near this call.
         proc = subprocess.run(  # lint: ignore[blocking-call]
-            [sys.executable, "-m", "pytest", bench_file, "-q",
+            [sys.executable, "-m", "pytest", *bench_files, "-q",
              "--benchmark-disable-gc", f"--benchmark-json={json_path}"],
             env=env,
         )

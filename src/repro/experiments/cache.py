@@ -8,17 +8,28 @@ never pay for the same grid point twice.  The topology component of the
 key is :meth:`repro.network.topology.Topology.fingerprint`, a stable
 hash of every timing-relevant parameter.
 
+Two access levels:
+
+- the typed :meth:`SimCache.get` / :meth:`SimCache.put` used by
+  :class:`~repro.experiments.runner.Sweeper` (one runtime per clean
+  grid-point simulation), and
+- the generic :meth:`SimCache.lookup` / :meth:`SimCache.store` keyed by
+  an arbitrary content-hash string, which :mod:`repro.serve` uses to
+  dedup fault-bearing, predicted, and profile results whose identity
+  includes more than the topology (FaultPlan hash, job kind, engine
+  version).
+
 Manage the cache from the command line::
 
-    python -m repro cache ls       # what is cached, per app/variant
-    python -m repro cache clear    # drop every entry
+    python -m repro cache ls       # what is cached, per app/variant + stats
+    python -m repro cache clear    # drop every entry (reports entries/bytes)
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..network.topology import Topology
 
@@ -29,9 +40,9 @@ DEFAULT_ROOT = os.path.join("results", "cache")
 class SimCache:
     """File-per-entry JSON cache of simulated runtimes.
 
-    One entry is one file, so concurrent writers (parallel sweeps) never
-    corrupt each other; writes go through a temp file + ``os.replace``
-    so readers never observe a partial entry.
+    One entry is one file, so concurrent writers (parallel sweeps, serve
+    workers) never corrupt each other; writes go through a temp file +
+    ``os.replace`` so readers never observe a partial entry.
     """
 
     def __init__(self, root: str = DEFAULT_ROOT) -> None:
@@ -40,9 +51,10 @@ class SimCache:
         self.misses = 0
 
     # ------------------------------------------------------------------
-    def key(self, app: str, variant: str, scale: str, seed: int,
+    @staticmethod
+    def key(app: str, variant: str, scale: str, seed: int,
             topology: Topology) -> str:
-        """Filename-safe cache key for one simulation."""
+        """Filename-safe cache key for one clean simulation."""
         return (f"{app}-{variant}-{scale}-r{topology.num_ranks}"
                 f"-s{seed}-{topology.fingerprint()}")
 
@@ -50,25 +62,41 @@ class SimCache:
         return os.path.join(self.root, key + ".json")
 
     # ------------------------------------------------------------------
-    def get(self, app: str, variant: str, scale: str, seed: int,
-            topology: Topology) -> Optional[float]:
-        """Cached runtime for this simulation, or None."""
-        path = self._path(self.key(app, variant, scale, seed, topology))
+    # Generic content-addressed access (used by repro.serve)
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """Full record stored under ``key``, or None; counts hit/miss."""
         try:
-            with open(path) as fh:
+            with open(self._path(key)) as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
             self.misses += 1
             return None
         self.hits += 1
+        return entry
+
+    def store(self, key: str, record: Dict[str, Any]) -> None:
+        """Store one JSON-able record (atomic, last writer wins)."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        tmp = path + f".tmp{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(record, fh, sort_keys=True)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def get(self, app: str, variant: str, scale: str, seed: int,
+            topology: Topology) -> Optional[float]:
+        """Cached runtime for this simulation, or None."""
+        entry = self.lookup(self.key(app, variant, scale, seed, topology))
+        if entry is None or "runtime" not in entry:
+            return None
         return float(entry["runtime"])
 
     def put(self, app: str, variant: str, scale: str, seed: int,
             topology: Topology, runtime: float) -> None:
         """Store one simulated runtime (atomic, last writer wins)."""
-        key = self.key(app, variant, scale, seed, topology)
-        os.makedirs(self.root, exist_ok=True)
-        entry = {
+        self.store(self.key(app, variant, scale, seed, topology), {
             "app": app,
             "variant": variant,
             "scale": scale,
@@ -77,12 +105,7 @@ class SimCache:
             "fingerprint": topology.fingerprint(),
             "topology": topology.describe(),
             "runtime": runtime,
-        }
-        path = self._path(key)
-        tmp = path + f".tmp{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, path)
+        })
 
     # ------------------------------------------------------------------
     def entries(self) -> List[dict]:
@@ -100,8 +123,40 @@ class SimCache:
                 continue
         return out
 
+    def stats(self) -> Dict[str, Any]:
+        """On-disk footprint plus this instance's hit/miss counters.
+
+        ``entries``/``bytes`` are measured from the cache directory (so
+        they see entries written by other processes); ``hits``/``misses``
+        count only this instance's lookups.
+        """
+        entries = 0
+        size = 0
+        if os.path.isdir(self.root):
+            for name in os.listdir(self.root):
+                if not name.endswith(".json"):
+                    continue
+                entries += 1
+                try:
+                    size += os.path.getsize(os.path.join(self.root, name))
+                except OSError:
+                    continue
+        total = self.hits + self.misses
+        return {
+            "root": self.root,
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        The bytes freed are available from :meth:`stats` *before* the
+        clear (the CLI reports both).
+        """
         removed = 0
         if not os.path.isdir(self.root):
             return removed
@@ -120,6 +175,14 @@ class SimCache:
         return sum(1 for n in os.listdir(self.root) if n.endswith(".json"))
 
 
+def _format_bytes(size: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
+        size /= 1024.0
+    return f"{size} B"
+
+
 def main(argv: Optional[list] = None) -> None:
     """``python -m repro cache {ls,clear}``."""
     import argparse
@@ -134,10 +197,13 @@ def main(argv: Optional[list] = None) -> None:
 
     cache = SimCache(args.root)
     if args.action == "clear":
+        stats = cache.stats()
         removed = cache.clear()
-        print(f"removed {removed} cached simulation(s) from {cache.root}")
+        print(f"removed {removed} cached simulation(s) "
+              f"({_format_bytes(stats['bytes'])}) from {cache.root}")
         return
 
+    stats = cache.stats()
     entries = cache.entries()
     if not entries:
         print(f"cache {cache.root} is empty")
@@ -146,12 +212,27 @@ def main(argv: Optional[list] = None) -> None:
     for entry in entries:
         by_app.setdefault((entry.get("app", "?"), entry.get("variant", "?")),
                           []).append(entry)
-    print(f"{len(entries)} cached simulation(s) in {cache.root}:")
+    print(f"{stats['entries']} cached simulation(s), "
+          f"{_format_bytes(stats['bytes'])} in {cache.root}:")
     for (app, variant), group in sorted(by_app.items()):
         print(f"  {app}/{variant}: {len(group)} point(s)")
         for entry in group:
+            runtime = entry.get("runtime")
+            shown = f"{runtime:.6f}s" if isinstance(runtime, (int, float)) \
+                else str(runtime)
+            kind = entry.get("kind")
+            suffix = f" [{kind}]" if kind else ""
+            where = entry.get("topology")
+            if where is None:        # serve entries carry the point instead
+                bw = entry.get("bandwidth_mbyte_s")
+                lat = entry.get("latency_ms")
+                if isinstance(bw, (int, float)) and \
+                        isinstance(lat, (int, float)):
+                    where = f"wan {bw:g} MB/s / {lat:g} ms"
+                else:
+                    where = "baseline"
             print(f"    scale={entry.get('scale')} seed={entry.get('seed')} "
-                  f"{entry.get('topology')} -> {entry.get('runtime'):.6f}s")
+                  f"{where} -> {shown}{suffix}")
 
 
 if __name__ == "__main__":

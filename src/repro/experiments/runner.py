@@ -91,6 +91,32 @@ class SpeedupGrid:
         return [self.points[(bw, latency_ms)] for bw in bws]
 
 
+def point_key(app: str, variant: str, scale: str, seed: int,
+              bandwidth_mbyte_s: float, latency_ms: float,
+              clusters: int = grids.NUM_CLUSTERS,
+              cluster_size: int = grids.CLUSTER_SIZE,
+              wan_shape: str = "full") -> str:
+    """Content-addressed :class:`SimCache` key for one clean grid point.
+
+    This is *the* per-point identity the sweep machinery and
+    :mod:`repro.serve` share: two processes (or two users' job
+    submissions) that name the same ``(app, variant, scale, seed,
+    grid-point, cluster shape)`` compute the same key and therefore
+    dedup against the same on-disk entry.  The key is a pure function of
+    its arguments — no process state, no dict iteration order — backed
+    by :meth:`~repro.network.topology.Topology.fingerprint`.
+    """
+    topo = grids.multi_cluster(bandwidth_mbyte_s, latency_ms, clusters,
+                               cluster_size, wan_shape)
+    return SimCache.key(app, variant, scale, seed, topo)
+
+
+def baseline_key(app: str, variant: str, scale: str, seed: int,
+                 num_ranks: int = grids.NUM_RANKS) -> str:
+    """:class:`SimCache` key for the all-Myrinet baseline run."""
+    return SimCache.key(app, variant, scale, seed, grids.baseline(num_ranks))
+
+
 def _simulate_point(payload: tuple) -> Tuple[float, float, float]:
     """Worker-process task: one ground-truth grid simulation.
 
@@ -289,8 +315,10 @@ class Sweeper:
             for bw, lat in points:
                 hit = None
                 if self.cache is not None:
-                    hit = self.cache.get(app, variant, self.scale, self.seed,
-                                         grids.multi_cluster(bw, lat))
+                    entry = self.cache.lookup(
+                        point_key(app, variant, self.scale, self.seed, bw, lat))
+                    if entry is not None and "runtime" in entry:
+                        hit = float(entry["runtime"])
                 runtimes[(bw, lat)] = hit
                 if hit is None:
                     misses.append((bw, lat))

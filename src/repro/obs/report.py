@@ -72,6 +72,22 @@ def run_record(machine, runtime: float, wall_time_s: float,
     return record
 
 
+def serve_job_record(job_snapshot: Dict[str, Any],
+                     meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build one ``serve-job`` record from a finished service job.
+
+    ``job_snapshot`` is :meth:`repro.serve.jobs.Job.snapshot` — id,
+    terminal state, content hash, point/cache counters — so a serve
+    report file reads like a sweep report file: one JSON line per unit
+    of completed work, concatenable and greppable with the same
+    one-liners.
+    """
+    record: Dict[str, Any] = {"kind": "serve-job", "job": dict(job_snapshot)}
+    if meta:
+        record["meta"] = dict(meta)
+    return record
+
+
 class RunReporter:
     """Appends JSON-lines records to a file (or any ``.write()`` stream)."""
 

@@ -1,0 +1,38 @@
+"""Sharded simulation-as-a-service: async job queue, dedup, streaming.
+
+The service layer that turns the simulator into long-lived, shareable
+infrastructure (see docs/serve.md):
+
+- :mod:`repro.serve.jobs` — job schema, lifecycle states, typed errors,
+  content hashing;
+- :mod:`repro.serve.scheduler` — admission control, the async job
+  queue, :class:`~repro.experiments.cache.SimCache` dedup, sharding
+  over a persistent process pool, streaming result emission;
+- :mod:`repro.serve.worker` — the picklable pool-side point runners;
+- :mod:`repro.serve.server` / :mod:`repro.serve.http` — the asyncio
+  HTTP front end (TCP loopback and/or Unix socket, stdlib only);
+- :mod:`repro.serve.client` — blocking client + stream-to-grid merge;
+- :mod:`repro.serve.cli` — ``python -m repro serve`` and
+  ``python -m repro submit``.
+"""
+
+from .client import ServeClient, ServeError, merge_grid
+from .jobs import (AdmissionError, InvalidJob, Job, JobError, JobSpec,
+                   UnknownJob)
+from .scheduler import AdmissionPolicy, Scheduler
+from .server import ServeServer
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "InvalidJob",
+    "Job",
+    "JobError",
+    "JobSpec",
+    "Scheduler",
+    "ServeClient",
+    "ServeError",
+    "ServeServer",
+    "UnknownJob",
+    "merge_grid",
+]

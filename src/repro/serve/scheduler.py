@@ -1,0 +1,511 @@
+"""Async job queue: admission, sharding, dedup, and streaming.
+
+The :class:`Scheduler` is the service's core loop, independent of any
+transport (the HTTP front end in :mod:`repro.serve.server` is one thin
+client of it; tests drive it directly):
+
+- **Admission** — submissions pass an :class:`AdmissionPolicy` before
+  they exist: queue depth, concurrent-job, and per-job point budgets,
+  each rejected with a typed
+  :class:`~repro.serve.jobs.AdmissionError`.  Point budgets compose with
+  the engine's own ``max_events`` guard: every dispatched run carries
+  the policy's event budget unless the job asked for a tighter one.
+- **Dedup** — each point is content-hashed
+  (:meth:`~repro.serve.jobs.JobSpec.cache_key`) into the on-disk
+  :class:`~repro.experiments.cache.SimCache`; hits stream back without
+  touching the pool, across jobs, users, and server restarts.
+- **Sharding** — misses fan out over one persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor` shared by every job,
+  so a long sweep and a one-point probe interleave at point granularity.
+- **Streaming** — results are emitted as they land; subscribers attach
+  at any time and first replay the job's history, so a stream observed
+  end-to-end is complete regardless of when it was opened.
+
+One emitted record is one JSON object (see docs/serve.md for the exact
+shapes): a ``job`` header, an optional ``baseline``, one ``point`` per
+grid point, and a terminal ``end`` carrying the final state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Deque, Dict, List, Optional, Set
+
+from ..experiments.cache import SimCache
+from ..obs.metrics import MetricsRegistry
+from ..obs.report import RunReporter, serve_job_record
+from . import worker
+from .jobs import (CANCELLED, DONE, FAILED, PARTIAL, QUEUED, RUNNING,
+                   AdmissionError, Job, JobSpec, UnknownJob)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Budgets a submission must fit inside to be accepted."""
+
+    #: jobs allowed to sit in the queue + run at once (beyond -> 429)
+    max_jobs: int = 16
+    #: jobs actively dispatching points at once
+    max_concurrent_jobs: int = 2
+    #: grid points (incl. baseline) one job may schedule
+    max_points_per_job: int = 256
+    #: engine event budget forced onto every dispatched run (None = off);
+    #: jobs may only tighten it, never exceed it
+    max_events_per_point: Optional[int] = 50_000_000
+
+    def admit(self, spec: JobSpec, active_jobs: int) -> None:
+        """Raise a typed :class:`AdmissionError` if the job cannot enter."""
+        if active_jobs >= self.max_jobs:
+            raise AdmissionError(
+                f"job queue full ({active_jobs}/{self.max_jobs} jobs "
+                f"queued or running); retry after a job finishes")
+        points = spec.total_points()
+        if points > self.max_points_per_job:
+            raise AdmissionError(
+                f"job schedules {points} points, over the per-job budget "
+                f"of {self.max_points_per_job}; split the grid")
+        if (self.max_events_per_point is not None and
+                spec.max_events is not None and
+                spec.max_events > self.max_events_per_point):
+            raise AdmissionError(
+                f"max_events {spec.max_events} exceeds the server budget "
+                f"of {self.max_events_per_point}")
+
+    def effective_max_events(self, spec: JobSpec) -> Optional[int]:
+        """The event budget a dispatched point actually runs under."""
+        if spec.max_events is None:
+            return self.max_events_per_point
+        if self.max_events_per_point is None:
+            return spec.max_events
+        return min(spec.max_events, self.max_events_per_point)
+
+
+class Scheduler:
+    """Owns the job table, the queue, and the worker pool.
+
+    Single-event-loop discipline: every method is called from the loop
+    that ran :meth:`start` (the HTTP handlers and tests do), so no locks
+    are needed — emission, subscription, and state transitions are
+    atomic between awaits.
+    """
+
+    def __init__(self, cache: SimCache,
+                 policy: Optional[AdmissionPolicy] = None,
+                 workers: int = 2,
+                 registry: Optional[MetricsRegistry] = None,
+                 reporter: Optional[RunReporter] = None) -> None:
+        self.cache = cache
+        self.policy = policy or AdmissionPolicy()
+        self.workers = workers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.reporter = reporter
+        self.jobs: Dict[str, Job] = {}
+        self._queue: Deque[str] = deque()
+        self._running: Set[str] = set()
+        self._tasks: Dict[str, asyncio.Task] = {}
+        self._subs: Dict[str, List[asyncio.Queue]] = {}
+        self._cancel_events: Dict[str, asyncio.Event] = {}
+        self._pool = None
+        self._seq = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._started:
+            return
+        # "spawn", not the platform default "fork": forked children would
+        # inherit dups of whatever connection sockets happen to be open at
+        # first dispatch, and peers would never see EOF after the server
+        # closes its side of those connections.
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"))
+        self._started = True
+
+    async def stop(self) -> None:
+        """Cancel everything in flight and shut the pool down."""
+        for job_id in list(self._tasks):
+            task = self._tasks[job_id]
+            task.cancel()
+        for task in list(self._tasks.values()):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Submission / admission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> Job:
+        """Validate, admit, enqueue; returns the new :class:`Job`.
+
+        Raises :class:`~repro.serve.jobs.InvalidJob` on a malformed
+        payload and :class:`~repro.serve.jobs.AdmissionError` when a
+        budget says no — both map to typed HTTP rejections upstream.
+        """
+        if not self._started:
+            raise RuntimeError("scheduler not started")
+        try:
+            spec = JobSpec.from_json(payload)
+            active = len(self._queue) + len(self._running)
+            self.policy.admit(spec, active)
+        except Exception:
+            self.registry.counter("serve.jobs.rejected").inc()
+            raise
+        self._seq += 1
+        job = Job(id=f"j{self._seq:04d}-{spec.content_hash()[:8]}", spec=spec)
+        job.points_total = spec.total_points()
+        self.jobs[job.id] = job
+        self._subs[job.id] = []
+        self._cancel_events[job.id] = asyncio.Event()
+        self._queue.append(job.id)
+        self.registry.counter("serve.jobs.submitted").inc()
+        self._emit(job, {"kind": "job", "job": job.id,
+                         "spec": spec.canonical(),
+                         "points": job.points_total})
+        self._pump()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise UnknownJob(f"no job {job_id!r}") from None
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; queued jobs finish instantly, running
+        jobs stop dispatching and drop their pending points."""
+        job = self.get(job_id)
+        if job.state in (QUEUED,):
+            self._queue.remove(job_id)
+            self._finish(job, CANCELLED)
+        elif job.state in (RUNNING, PARTIAL):
+            self._cancel_events[job_id].set()
+        return job
+
+    # ------------------------------------------------------------------
+    # Queue pump
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        while self._queue and \
+                len(self._running) < self.policy.max_concurrent_jobs:
+            job_id = self._queue.popleft()
+            self._running.add(job_id)
+            task = asyncio.get_running_loop().create_task(
+                self._run_job(self.jobs[job_id]))
+            self._tasks[job_id] = task
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        self.registry.gauge("serve.queue_depth").set(float(len(self._queue)))
+        self.registry.gauge("serve.jobs.running").set(
+            float(len(self._running)))
+        hits = self.registry.counter("serve.points.cache_hits").value
+        total = self.registry.counter("serve.points.completed").value
+        self.registry.gauge("serve.cache.hit_rate").set(
+            hits / total if total else 0.0)
+
+    # ------------------------------------------------------------------
+    # Emission / subscription
+    # ------------------------------------------------------------------
+    def _emit(self, job: Job, record: Dict[str, Any]) -> None:
+        job.results.append(record)
+        for queue in self._subs.get(job.id, ()):
+            queue.put_nowait(record)
+
+    async def stream(self, job_id: str) -> AsyncIterator[Dict[str, Any]]:
+        """Replay the job's history, then live-tail until its end record.
+
+        Attaching the queue and snapshotting the history happen in one
+        synchronous block, so no record is ever missed or duplicated.
+        """
+        job = self.get(job_id)
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subs[job_id].append(queue)
+        history = list(job.results)
+        try:
+            ended = False
+            for record in history:
+                yield record
+                if record.get("kind") == "end":
+                    ended = True
+            while not ended:
+                record = await queue.get()
+                yield record
+                ended = record.get("kind") == "end"
+        finally:
+            self._subs[job_id].remove(queue)
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    #: cache-entry metadata (see _stored_record) that must not leak into
+    #: streamed point records — "kind" in particular would shadow the
+    #: record envelope's own kind.
+    _ENTRY_META = ("app", "variant", "scale", "seed", "kind",
+                   "bandwidth_mbyte_s", "latency_ms")
+
+    def _point_record(self, job: Job, bw: float, lat: float,
+                      result: Dict[str, Any], cached: bool,
+                      baseline: Optional[float]) -> Dict[str, Any]:
+        record = {"kind": "point", "job": job.id,
+                  "bandwidth_mbyte_s": bw, "latency_ms": lat,
+                  "cached": cached}
+        record.update({key: value for key, value in result.items()
+                       if key not in self._ENTRY_META})
+        if baseline is not None and "runtime" in result and result["runtime"]:
+            # The Sweeper's exact float expression, for byte-identical merges.
+            record["relative_speedup_pct"] = \
+                100.0 * baseline / result["runtime"]
+        return record
+
+    @staticmethod
+    def _stored_record(spec: JobSpec, bw: Optional[float],
+                       lat: Optional[float],
+                       result: Dict[str, Any]) -> Dict[str, Any]:
+        """The cache entry for one result: worker output + enough
+        metadata for ``python -m repro cache ls`` to attribute it."""
+        record: Dict[str, Any] = {
+            "app": spec.app, "variant": spec.variant, "scale": spec.scale,
+            "seed": spec.seed, "bandwidth_mbyte_s": bw, "latency_ms": lat,
+        }
+        clean = (spec.kind == "sweep" and not spec.faults) or \
+            (spec.kind == "whatif" and bw is None)
+        if not clean:
+            record["kind"] = spec.kind
+        record.update(result)
+        return record
+
+    def _account_point(self, job: Job, cached: bool, failed: bool = False) -> None:
+        reg = self.registry
+        job.points_done += 1
+        reg.counter("serve.points.completed").inc()
+        if cached:
+            job.cache_hits += 1
+            reg.counter("serve.points.cache_hits").inc()
+        if failed:
+            job.failed_points += 1
+            reg.counter("serve.points.failed").inc()
+        if job.state == RUNNING:
+            job.state = PARTIAL
+
+    def _finish(self, job: Job, state: str, error: Optional[str] = None) -> None:
+        job.state = state
+        job.error = error
+        self._emit(job, {"kind": "end", "job": job.id, "state": state,
+                         **{k: getattr(job, k) for k in
+                            ("points_total", "points_done", "cache_hits",
+                             "dispatched", "failed_points")},
+                         "hit_rate": job.hit_rate,
+                         **({"error": error} if error else {})})
+        self.registry.counter(f"serve.jobs.{state}").inc()
+        if job.wall_s > 0:
+            self.registry.gauge("serve.points_per_s").set(
+                job.points_done / job.wall_s)
+            self.registry.histogram("serve.job_wall_s").observe(job.wall_s)
+        if self.reporter is not None:
+            self.reporter.emit(serve_job_record(job.snapshot()))
+
+    def _dispatch(self, payload: Dict[str, Any], job: Job,
+                  fn=worker.run_point) -> asyncio.Future:
+        payload = dict(payload)
+        if payload.get("kind") != "whatif-grid":
+            payload["max_events"] = self.policy.effective_max_events(job.spec)
+        job.dispatched += 1
+        self.registry.counter("serve.points.dispatched").inc()
+        return asyncio.get_running_loop().run_in_executor(self._pool, fn, payload)
+
+    async def _await_or_cancel(self, job: Job, futures: Set[asyncio.Future]):
+        """Wait for any future OR a cancel request; returns done set."""
+        cancel_event = self._cancel_events[job.id]
+        waiter = asyncio.ensure_future(cancel_event.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                set(futures) | {waiter},
+                return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            waiter.cancel()
+        return done - {waiter}
+
+    async def _run_job(self, job: Job) -> None:
+        # Host wall time of service work, not simulated time.
+        started = time.monotonic()  # lint: ignore[wall-clock]
+        job.state = RUNNING
+        cancel_event = self._cancel_events[job.id]
+        try:
+            if job.spec.kind == "whatif":
+                await self._run_whatif(job)
+            else:
+                await self._run_pointwise(job)
+        except asyncio.CancelledError:
+            job.wall_s = time.monotonic() - started  # lint: ignore[wall-clock]
+            self._finish(job, CANCELLED, error="server shutdown")
+            raise
+        except Exception as exc:  # job-level failure: typed record, not a crash
+            job.wall_s = time.monotonic() - started  # lint: ignore[wall-clock]
+            self._finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+        else:
+            job.wall_s = time.monotonic() - started  # lint: ignore[wall-clock]
+            if cancel_event.is_set():
+                self._finish(job, CANCELLED)
+            elif job.failed_points:
+                self._finish(job, FAILED,
+                             error=f"{job.failed_points} point(s) failed")
+            else:
+                self._finish(job, DONE)
+        finally:
+            self._running.discard(job.id)
+            self._tasks.pop(job.id, None)
+            self._pump()
+
+    # -- sweep / chaos / profile ---------------------------------------
+    async def _run_pointwise(self, job: Job) -> None:
+        spec = job.spec
+        cancel_event = self._cancel_events[job.id]
+
+        baseline: Optional[float] = None
+        if spec.needs_baseline:
+            baseline = await self._baseline(job)
+            if baseline is None:     # cancelled while simulating it
+                return
+
+        pending: Dict[asyncio.Future, tuple] = {}
+        for bw, lat in spec.points():
+            if cancel_event.is_set():
+                break
+            key = spec.cache_key(bw, lat)
+            entry = self.cache.lookup(key)
+            if entry is not None:
+                self._account_point(job, cached=True,
+                                    failed=entry.get("ok") is False)
+                self._emit(job, self._point_record(job, bw, lat, entry,
+                                                   cached=True,
+                                                   baseline=baseline))
+            else:
+                future = self._dispatch(spec.point_payload(bw, lat), job)
+                pending[future] = (bw, lat, key)
+        self._update_gauges()
+
+        while pending and not cancel_event.is_set():
+            done = await self._await_or_cancel(job, set(pending))
+            for future in done:
+                bw, lat, key = pending.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    self._account_point(job, cached=False, failed=True)
+                    self._emit(job, {"kind": "point", "job": job.id,
+                                     "bandwidth_mbyte_s": bw,
+                                     "latency_ms": lat, "cached": False,
+                                     "ok": False,
+                                     "error": type(exc).__name__,
+                                     "detail": str(exc)})
+                    continue
+                self.cache.store(key, self._stored_record(spec, bw, lat,
+                                                          result))
+                self._account_point(job, cached=False,
+                                    failed=result.get("ok") is False)
+                self._emit(job, self._point_record(job, bw, lat, result,
+                                                   cached=False,
+                                                   baseline=baseline))
+        for future in pending:      # cancelled: drop undispatched points
+            future.cancel()
+
+    async def _baseline(self, job: Job) -> Optional[float]:
+        """The all-Myrinet baseline runtime (cached like any point)."""
+        spec = job.spec
+        key = spec.cache_key(None, None)
+        entry = self.cache.lookup(key)
+        if entry is not None and "runtime" in entry:
+            self._account_point(job, cached=True)
+            self._emit(job, {"kind": "baseline", "job": job.id,
+                             "runtime": float(entry["runtime"]),
+                             "cached": True})
+            return float(entry["runtime"])
+        future = self._dispatch(spec.point_payload(None, None), job)
+        done = await self._await_or_cancel(job, {future})
+        if not done:
+            future.cancel()
+            return None
+        result = future.result()
+        self.cache.store(key, self._stored_record(spec, None, None, result))
+        self._account_point(job, cached=False)
+        self._emit(job, {"kind": "baseline", "job": job.id,
+                         "runtime": result["runtime"], "cached": False})
+        return result["runtime"]
+
+    # -- whatif ---------------------------------------------------------
+    async def _run_whatif(self, job: Job) -> None:
+        """Record-once fast path: one pool task for the whole grid.
+
+        If every predicted point *and* the baseline are already cached
+        the task is skipped entirely; otherwise its evaluated points are
+        stored under their content keys so the next identical job is a
+        pure cache job.
+        """
+        spec = job.spec
+        points = spec.points()
+        cached_entries = {}
+        for bw, lat in points:
+            entry = self.cache.lookup(spec.cache_key(bw, lat))
+            if entry is None:
+                break
+            cached_entries[(bw, lat)] = entry
+        base_entry = self.cache.lookup(spec.cache_key(None, None))
+
+        if len(cached_entries) == len(points) and base_entry is not None:
+            baseline = float(base_entry["runtime"])
+            self._account_point(job, cached=True)
+            self._emit(job, {"kind": "baseline", "job": job.id,
+                             "runtime": baseline, "cached": True})
+            for bw, lat in points:
+                self._account_point(job, cached=True)
+                self._emit(job, self._point_record(
+                    job, bw, lat, cached_entries[(bw, lat)], cached=True,
+                    baseline=baseline))
+            return
+
+        payload = {"kind": "whatif-grid", "app": spec.app,
+                   "variant": spec.variant, "scale": spec.scale,
+                   "seed": spec.seed, "bandwidths": list(spec.bandwidths),
+                   "latencies": list(spec.latencies),
+                   "cache_root": self.cache.root}
+        future = self._dispatch(payload, job, fn=worker.run_whatif_grid)
+        done = await self._await_or_cancel(job, {future})
+        if not done:
+            future.cancel()
+            return
+        result = future.result()
+        baseline = result["baseline"]
+        self.cache.store(spec.cache_key(None, None),
+                         self._stored_record(spec, None, None,
+                                             {"runtime": baseline}))
+        self._account_point(job, cached=False)
+        record = {"kind": "baseline", "job": job.id, "runtime": baseline,
+                  "cached": False}
+        if "fallback_reason" in result:
+            record["fallback_reason"] = result["fallback_reason"]
+        record["predicted"] = result["predicted"]
+        self._emit(job, record)
+        by_point = {(p["bandwidth_mbyte_s"], p["latency_ms"]): p
+                    for p in result["points"]}
+        for bw, lat in points:
+            point = by_point[(bw, lat)]
+            stored = self._stored_record(
+                spec, bw, lat, {"runtime": point["runtime"],
+                                "predicted": result["predicted"]})
+            self.cache.store(spec.cache_key(bw, lat), stored)
+            self._account_point(job, cached=False)
+            self._emit(job, self._point_record(job, bw, lat, stored,
+                                               cached=False,
+                                               baseline=baseline))

@@ -1,0 +1,140 @@
+"""Pool-side execution of one unit of servable work.
+
+These functions run inside the scheduler's persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`.  They are module-level
+(picklable), take one plain-dict payload built by
+:meth:`repro.serve.jobs.JobSpec.point_payload`, and return a plain-dict
+record — the exact JSON object that ends up in the cache and on the
+job's result stream.  No reporter/bus state leaks across the process
+boundary: pool runs never emit per-run report records (matching
+``Sweeper(workers=N)`` semantics); the serve layer emits per-*job*
+records instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..experiments import grids
+from .jobs import build_fault_plan
+
+
+def _topology(payload: Dict[str, Any]):
+    if payload["bandwidth_mbyte_s"] is None or payload["latency_ms"] is None:
+        return grids.baseline(payload["clusters"] * payload["cluster_size"])
+    return grids.multi_cluster(
+        payload["bandwidth_mbyte_s"], payload["latency_ms"],
+        payload["clusters"], payload["cluster_size"], payload["wan_shape"])
+
+
+def run_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one point; dispatch on the payload's kind.
+
+    Returns a JSON-able record.  ``chaos`` failures (typed transport /
+    deadlock / event-budget errors) are *results*, not exceptions — the
+    job keeps streaming its other points.  Any other exception
+    propagates and fails the point.
+    """
+    kind = payload["kind"]
+    if kind == "profile":
+        return _run_profile(payload)
+    if kind == "chaos":
+        return _run_chaos(payload)
+    return _run_clean(payload)
+
+
+def _run_clean(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Ground-truth simulation of one (possibly degraded) point."""
+    from ..apps import default_config, run_app
+
+    faults = build_fault_plan(payload.get("faults"))
+    topo = _topology(payload)
+    config = default_config(payload["app"], payload["scale"])
+    result = run_app(payload["app"], payload["variant"], topo, config=config,
+                     seed=payload["seed"], faults=faults,
+                     max_events=payload.get("max_events"))
+    return {
+        "runtime": result.runtime,
+        "engine_events": result.machine.engine.events_processed,
+    }
+
+
+def _run_chaos(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One run under the job's fault plan; survival is the result."""
+    from ..apps import default_config, run_app
+    from ..runtime.machine import DeadlockError
+    from ..runtime.transport import TransportError
+
+    faults = build_fault_plan(payload.get("faults"))
+    topo = _topology(payload)
+    config = default_config(payload["app"], payload["scale"])
+    try:
+        result = run_app(payload["app"], payload["variant"], topo,
+                         config=config, seed=payload["seed"], faults=faults,
+                         max_events=payload.get("max_events"))
+    except (TransportError, DeadlockError, TimeoutError) as exc:
+        return {"ok": False, "error": type(exc).__name__, "detail": str(exc)}
+    summary = result.traffic_summary()
+    record: Dict[str, Any] = {
+        "ok": True,
+        "runtime": result.runtime,
+        "engine_events": result.machine.engine.events_processed,
+    }
+    if "faults" in summary:
+        record["faults"] = summary["faults"]
+    return record
+
+
+def _run_profile(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One causal-profile run: wall time + 14-bucket attribution."""
+    from ..critpath.profile import profile_app
+
+    faults = build_fault_plan(payload.get("faults"))
+    topo = _topology(payload)
+    result, profile = profile_app(payload["app"], payload["variant"], topo,
+                                  scale=payload["scale"],
+                                  seed=payload["seed"], faults=faults)
+    return {
+        "runtime": result.runtime,
+        "buckets": profile.run_buckets,
+        "dominant_bucket": profile.dominant_bucket(exclude=("compute",)),
+        "max_residual_s": profile.max_residual(),
+    }
+
+
+def run_whatif_grid(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The record-once fast path for a whole grid, as one pool task.
+
+    Reuses :class:`~repro.experiments.runner.Sweeper` with
+    ``predict=True`` so corner validation, fallback policy, and baseline
+    handling are byte-for-byte the CLI's.  ``cache_root`` (when set)
+    points at the server's cache so the corner ground-truth simulations
+    dedup with everything else.
+    """
+    from ..experiments.cache import SimCache
+    from ..experiments.runner import Sweeper
+
+    cache = SimCache(payload["cache_root"]) if payload.get("cache_root") \
+        else None
+    sweeper = Sweeper(scale=payload["scale"], seed=payload["seed"],
+                      predict=True, cache=cache)
+    grid = sweeper.speedup_grid(payload["app"], payload["variant"],
+                                bandwidths=payload["bandwidths"],
+                                latencies=payload["latencies"])
+    points: List[Dict[str, Any]] = []
+    for (bw, lat), point in grid.points.items():
+        points.append({
+            "bandwidth_mbyte_s": bw,
+            "latency_ms": lat,
+            "runtime": point.runtime,
+        })
+    out: Dict[str, Any] = {
+        "baseline": grid.baseline_runtime,
+        "predicted": grid.predicted,
+        "points": points,
+    }
+    report = grid.validation
+    if report is not None and getattr(report, "fallback", False):
+        out["fallback_reason"] = getattr(report, "reason", "") or \
+            "validation error above tolerance"
+    return out

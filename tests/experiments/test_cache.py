@@ -76,3 +76,47 @@ def test_cli_ls_and_clear(cache, capsys):
     cache_main(["clear", "--root", cache.root])
     assert "removed 1" in capsys.readouterr().out
     assert len(cache) == 0
+
+
+def test_stats_counts_entries_bytes_and_hit_rate(cache):
+    topo = grids.multi_cluster(0.95, 3.3)
+    stats = cache.stats()
+    assert stats["entries"] == 0 and stats["bytes"] == 0
+    assert stats["hit_rate"] == 0.0
+    cache.put("asp", "optimized", "bench", 0, topo, 1.0)
+    cache.put("water", "optimized", "bench", 0, topo, 2.0)
+    assert cache.get("asp", "optimized", "bench", 0, topo) == 1.0
+    assert cache.get("asp", "optimized", "bench", 7, topo) is None
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["bytes"] > 0
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["root"] == cache.root
+
+
+def test_generic_lookup_and_store(cache):
+    assert cache.lookup("serve-abc123") is None
+    assert cache.misses == 1
+    cache.store("serve-abc123", {"kind": "chaos", "ok": True, "runtime": 3.5})
+    entry = cache.lookup("serve-abc123")
+    assert entry == {"kind": "chaos", "ok": True, "runtime": 3.5}
+    assert cache.hits == 1
+    # Typed get() goes through the same path and tolerates foreign records.
+    assert len(cache) == 1
+
+
+def test_cli_reports_stats_and_cleared_bytes(cache, capsys):
+    topo = grids.multi_cluster(0.95, 3.3)
+    cache.put("asp", "optimized", "bench", 0, topo, 1.0)
+    cache.store("serve-xyz", {"kind": "profile", "runtime": None})
+    cache_main(["ls", "--root", cache.root])
+    out = capsys.readouterr().out
+    assert "2 cached simulation(s)" in out
+    assert "B in" in out  # byte footprint shown
+    assert "[profile]" in out  # foreign records render without crashing
+    cache_main(["clear", "--root", cache.root])
+    out = capsys.readouterr().out
+    assert "removed 2" in out
+    assert "B)" in out  # bytes freed reported
+    assert len(cache) == 0

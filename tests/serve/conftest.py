@@ -1,0 +1,55 @@
+"""Fixtures for the serve tests: a live server on a background loop.
+
+pytest-asyncio is not available in the toolchain, so async tests run
+their coroutines with ``asyncio.run`` and the end-to-end tests drive a
+real :class:`~repro.serve.server.ServeServer` hosted on an event loop in
+a daemon thread, talking to it through the blocking
+:class:`~repro.serve.client.ServeClient` exactly as the CLI does.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.experiments.cache import SimCache
+from repro.serve.client import ServeClient
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeServer
+
+
+class ServeHarness:
+    """One live server (TCP on an ephemeral loopback port) + client."""
+
+    def __init__(self, cache_root, *, policy=None, workers=2,
+                 reporter=None, timeout=300.0):
+        self.cache = SimCache(str(cache_root))
+        self.scheduler = Scheduler(self.cache, policy=policy,
+                                   workers=workers, reporter=reporter)
+        self.server = ServeServer(self.scheduler, host="127.0.0.1", port=0)
+        self.loop = asyncio.new_event_loop()
+        self.addresses = self.loop.run_until_complete(self.server.start())
+        self.thread = threading.Thread(target=self.loop.run_forever,
+                                       daemon=True)
+        self.thread.start()
+        self.client = ServeClient(self.addresses[0], timeout=timeout)
+
+    @property
+    def address(self):
+        return self.addresses[0]
+
+    def close(self):
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                                  self.loop)
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """Module-shared live server with a default admission policy."""
+    h = ServeHarness(tmp_path_factory.mktemp("serve-cache"))
+    yield h
+    h.close()
