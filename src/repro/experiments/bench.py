@@ -3,8 +3,10 @@
 Runs ``benchmarks/test_simulator_perf.py`` under pytest-benchmark and
 records the headline throughput numbers in ``BENCH_simperf.json`` at the
 repository root — engine events/s, process switches/s, end-to-end
-messages/s, and the wall time of one bench-scale Water run (the Figure 3
-unit of work).  The file is a *trajectory*: each recorded run appends an
+messages/s, the wall time of one bench-scale Water run (the Figure 3
+unit of work), serve points/s at three cache hit rates, and Figure-3
+grid points/s for both analytic backends (interpreted predict vs
+compiled vectorized replay).  The file is a *trajectory*: each recorded run appends an
 entry, so the history of the hot path's speed lives next to the code
 that determines it.
 
@@ -39,6 +41,10 @@ REGRESSION_TOLERANCE = 0.20
 BENCH_FILES = (
     "benchmarks/test_simulator_perf.py",
     "benchmarks/test_serve_throughput.py",
+    # Node IDs: only the throughput feeds — the file's speedup/budget
+    # guards have their own CI job and would add assert noise here.
+    "benchmarks/test_replay_speedup.py::test_predict_grid_points_throughput",
+    "benchmarks/test_replay_speedup.py::test_replay_grid_points_throughput",
 )
 
 #: Nominal operations per benchmark round, used to turn pytest-benchmark's
@@ -53,6 +59,10 @@ OPS_PER_ROUND = {
     "test_serve_throughput_cold": ("serve_points_per_s_cold", 10),
     "test_serve_throughput_mixed": ("serve_points_per_s_50pct_cache", 10),
     "test_serve_throughput_warm": ("serve_points_per_s_warm", 10),
+    # Analytic grid backends, 42 Figure-3 points per round each: the
+    # interpreted predict path vs the compiled vectorized replay path.
+    "test_predict_grid_points_throughput": ("predict_grid_points_per_s", 42),
+    "test_replay_grid_points_throughput": ("replay_grid_points_per_s", 42),
 }
 
 #: Wall-time metric (lower is better) — one bench-scale Water run.

@@ -17,12 +17,19 @@ Two access levels:
   an arbitrary content-hash string, which :mod:`repro.serve` uses to
   dedup fault-bearing, predicted, and profile results whose identity
   includes more than the topology (FaultPlan hash, job kind, engine
-  version).
+  version), and :mod:`repro.replay` uses for compiled event programs.
+
+Entries carry an optional ``kind`` field (absent for plain runtime
+memos); :meth:`SimCache.stats` attributes entries and bytes per kind,
+and :meth:`SimCache.clear` can drop a single kind — compiled replay
+programs are two orders of magnitude larger than runtime memos, so
+"free the big entries, keep the sim results" is a real operation.
 
 Manage the cache from the command line::
 
-    python -m repro cache ls       # what is cached, per app/variant + stats
-    python -m repro cache clear    # drop every entry (reports entries/bytes)
+    python -m repro cache ls                   # per app/variant + per-kind stats
+    python -m repro cache clear                # drop every entry
+    python -m repro cache clear --kind replay  # drop only compiled programs
 """
 
 from __future__ import annotations
@@ -123,50 +130,81 @@ class SimCache:
                 continue
         return out
 
+    @staticmethod
+    def entry_kind(entry: Dict[str, Any]) -> str:
+        """An entry's ``kind``; plain runtime memos predate the field."""
+        return entry.get("kind", "runtime")
+
+    def _entry_kind_of(self, path: str) -> Optional[str]:
+        """The ``kind`` of the entry file at ``path``, or None if
+        unreadable (being written, or not a cache entry at all)."""
+        try:
+            with open(path) as fh:
+                return self.entry_kind(json.load(fh))
+        except (OSError, ValueError):
+            return None
+
     def stats(self) -> Dict[str, Any]:
         """On-disk footprint plus this instance's hit/miss counters.
 
         ``entries``/``bytes`` are measured from the cache directory (so
-        they see entries written by other processes); ``hits``/``misses``
-        count only this instance's lookups.
+        they see entries written by other processes); ``kinds`` breaks
+        both down per entry kind — compiled replay programs dominate the
+        bytes while runtime memos dominate the count, and conflating
+        them hides both facts.  ``hits``/``misses`` count only this
+        instance's lookups.
         """
         entries = 0
         size = 0
+        kinds: Dict[str, Dict[str, int]] = {}
         if os.path.isdir(self.root):
             for name in os.listdir(self.root):
                 if not name.endswith(".json"):
                     continue
-                entries += 1
+                path = os.path.join(self.root, name)
                 try:
-                    size += os.path.getsize(os.path.join(self.root, name))
+                    file_size = os.path.getsize(path)
                 except OSError:
                     continue
+                entries += 1
+                size += file_size
+                kind = self._entry_kind_of(path) or "?"
+                bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+                bucket["entries"] += 1
+                bucket["bytes"] += file_size
         total = self.hits + self.misses
         return {
             "root": self.root,
             "entries": entries,
             "bytes": size,
+            "kinds": kinds,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": (self.hits / total) if total else 0.0,
         }
 
-    def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed.
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cache entries; returns how many were removed.
 
-        The bytes freed are available from :meth:`stats` *before* the
-        clear (the CLI reports both).
+        With ``kind``, only entries of that kind are dropped (plain
+        runtime memos are kind ``"runtime"``).  The bytes freed are
+        available from :meth:`stats` *before* the clear (the CLI
+        reports both).
         """
         removed = 0
         if not os.path.isdir(self.root):
             return removed
         for name in os.listdir(self.root):
-            if name.endswith(".json"):
-                try:
-                    os.unlink(os.path.join(self.root, name))
-                    removed += 1
-                except OSError:
-                    continue
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            if kind is not None and self._entry_kind_of(path) != kind:
+                continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
         return removed
 
     def __len__(self) -> int:
@@ -193,44 +231,66 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("action", choices=["ls", "clear"])
     parser.add_argument("--root", default=DEFAULT_ROOT,
                         help=f"cache directory (default: {DEFAULT_ROOT})")
+    parser.add_argument("--kind", default=None,
+                        help="restrict to one entry kind (plain runtime "
+                             "memos are 'runtime'; compiled programs are "
+                             "'replay')")
     args = parser.parse_args(argv)
 
     cache = SimCache(args.root)
     if args.action == "clear":
         stats = cache.stats()
-        removed = cache.clear()
-        print(f"removed {removed} cached simulation(s) "
-              f"({_format_bytes(stats['bytes'])}) from {cache.root}")
+        removed = cache.clear(kind=args.kind)
+        freed = stats["kinds"].get(args.kind, {"bytes": 0})["bytes"] \
+            if args.kind else stats["bytes"]
+        what = (f"{args.kind} entr(ies)" if args.kind
+                else "cached simulation(s)")
+        print(f"removed {removed} {what} "
+              f"({_format_bytes(freed)}) from {cache.root}")
         return
 
     stats = cache.stats()
     entries = cache.entries()
+    if args.kind:
+        entries = [e for e in entries
+                   if SimCache.entry_kind(e) == args.kind]
     if not entries:
-        print(f"cache {cache.root} is empty")
+        print(f"cache {cache.root} is empty"
+              + (f" (no {args.kind!r} entries)" if args.kind else ""))
         return
     by_app: Dict[Tuple[str, str], List[dict]] = {}
     for entry in entries:
         by_app.setdefault((entry.get("app", "?"), entry.get("variant", "?")),
                           []).append(entry)
+    kind_parts = ", ".join(
+        f"{k}: {v['entries']} / {_format_bytes(v['bytes'])}"
+        for k, v in sorted(stats["kinds"].items()))
     print(f"{stats['entries']} cached simulation(s), "
-          f"{_format_bytes(stats['bytes'])} in {cache.root}:")
+          f"{_format_bytes(stats['bytes'])} in {cache.root}"
+          + (f" ({kind_parts})" if kind_parts else "") + ":")
     for (app, variant), group in sorted(by_app.items()):
         print(f"  {app}/{variant}: {len(group)} point(s)")
         for entry in group:
-            runtime = entry.get("runtime")
-            shown = f"{runtime:.6f}s" if isinstance(runtime, (int, float)) \
-                else str(runtime)
             kind = entry.get("kind")
             suffix = f" [{kind}]" if kind else ""
-            where = entry.get("topology")
-            if where is None:        # serve entries carry the point instead
-                bw = entry.get("bandwidth_mbyte_s")
-                lat = entry.get("latency_ms")
-                if isinstance(bw, (int, float)) and \
-                        isinstance(lat, (int, float)):
-                    where = f"wan {bw:g} MB/s / {lat:g} ms"
-                else:
-                    where = "baseline"
+            if kind == "replay" and "program" in entry:
+                prog = entry.get("stats", {})
+                shown = (f"program {prog.get('nodes', '?')} nodes / "
+                         f"{prog.get('levels', '?')} levels")
+                where = f"ref fp={str(entry.get('fingerprint'))[:12]}"
+            else:
+                runtime = entry.get("runtime")
+                shown = f"{runtime:.6f}s" \
+                    if isinstance(runtime, (int, float)) else str(runtime)
+                where = entry.get("topology")
+                if where is None:    # serve entries carry the point instead
+                    bw = entry.get("bandwidth_mbyte_s")
+                    lat = entry.get("latency_ms")
+                    if isinstance(bw, (int, float)) and \
+                            isinstance(lat, (int, float)):
+                        where = f"wan {bw:g} MB/s / {lat:g} ms"
+                    else:
+                        where = "baseline"
             print(f"    scale={entry.get('scale')} seed={entry.get('seed')} "
                   f"{where} -> {shown}{suffix}")
 

@@ -52,6 +52,11 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--predict", action="store_true",
                         help="fill grids from a recorded communication DAG "
                              "(validated; falls back to simulation per app)")
+    parser.add_argument("--replay", action="store_true",
+                        help="price grids from compiled replay programs "
+                             "(vectorized; needs numpy; falls back to the "
+                             "predict path or simulation per app — see "
+                             "docs/replay.md)")
     parser.add_argument("--workers", type=int, default=None,
                         help="simulate ground-truth grid points in N "
                              "parallel processes")
@@ -61,8 +66,9 @@ def main(argv: Optional[list] = None) -> None:
                              "repro.critpath)")
     args = parser.parse_args(argv)
 
+    backend = "replay" if args.replay else None
     sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict,
-                      workers=args.workers)
+                      workers=args.workers, backend=backend)
     for app in args.apps:
         variants = [args.variant] if args.variant else ["unoptimized", "optimized"]
         if app == "fft":
@@ -72,6 +78,12 @@ def main(argv: Optional[list] = None) -> None:
             print(render_panel(grid))
             if args.predict and grid.validation is not None:
                 print(f"[whatif] {grid.validation.summary()}")
+            if args.replay:
+                print(f"[replay] backend={grid.backend}")
+                if grid.replay is not None:
+                    print(f"[replay] {grid.replay.summary()}")
+                if grid.validation is not None:
+                    print(f"[replay] {grid.validation.summary()}")
             if args.blame:
                 from ..critpath.blame import blame_grid, render_blame_panel
 

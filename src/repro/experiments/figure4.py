@@ -60,9 +60,14 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--predict", action="store_true",
                         help="predict grid points from recorded communication "
                              "DAGs where validated (see docs/whatif.md)")
+    parser.add_argument("--replay", action="store_true",
+                        help="price grid points from compiled replay programs "
+                             "(vectorized; needs numpy; see docs/replay.md)")
     args = parser.parse_args(argv)
 
-    sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict)
+    backend = "replay" if args.replay else None
+    sweeper = Sweeper(scale=args.scale, seed=args.seed, predict=args.predict,
+                      backend=backend)
     bw_labels = [f"{bw:g}" for bw in sorted(grids.BANDWIDTHS_MBYTE_S, reverse=True)]
     _print_panel(
         bandwidth_panel(sweeper), bw_labels,

@@ -7,7 +7,7 @@ Baseline runs are cached per (app, variant, scale, ranks, seed).
 
 Three orthogonal accelerators (all off by default):
 
-``predict=True``
+``predict=True`` (equivalently ``backend="predict"``)
     Record the application's communication DAG once (see
     :mod:`repro.whatif`), validate predictions against full simulations
     at the grid corners, then fill the rest of the grid analytically —
@@ -15,6 +15,19 @@ Three orthogonal accelerators (all off by default):
     recordings are timing-sensitive (TSP's work stealing, Awari's
     arrival-order MARK protocol) or whose validation error exceeds
     ``tolerance_pp`` fall back to full simulation automatically.
+
+``backend="replay"``
+    Compile the recorded DAG into a flat vectorized event program (see
+    :mod:`repro.replay`) and price the whole grid in one numpy pass —
+    another order of magnitude over the predict path.  The fallback
+    ladder is automatic, one rung per failure mode: DAGs whose frozen
+    contention orders drift at the grid corners (the probe) downgrade
+    to the per-point predict evaluator; timing-sensitive recordings,
+    active fault plans, and corner-validation failures fall all the way
+    back to full simulation.  The four grid-corner points of a replayed
+    grid are always the *simulated* ground truth (they were computed for
+    validation anyway), so spot-checking a replayed grid against a full
+    sweep at the corners compares identical floats.
 
 ``workers=N``
     Run ground-truth grid simulations in a
@@ -72,6 +85,12 @@ class SpeedupGrid:
     #: the :class:`repro.whatif.validate.ValidationReport` backing a
     #: predicted grid (or explaining why prediction fell back), if any.
     validation: Optional[object] = None
+    #: the rung of the backend ladder that actually produced the points:
+    #: "simulate", "predict", or "replay".
+    backend: str = "simulate"
+    #: the :class:`repro.replay.backend.ProbeReport` measured while
+    #: deciding a ``backend="replay"`` sweep, if one was run.
+    replay: Optional[object] = None
 
     def series(self, latency_ms: float) -> List[GridPoint]:
         """One Figure-3 curve: points of a latency series, by bandwidth."""
@@ -89,6 +108,27 @@ class SpeedupGrid:
                 f"latency={latency_ms:g} ms series; available latencies: "
                 f"{available} ms")
         return [self.points[(bw, latency_ms)] for bw in bws]
+
+
+@dataclass
+class _ReplayDecision:
+    """Memoized outcome of the replay fallback ladder for one app.
+
+    ``mode`` is the rung that will produce the grid ("replay",
+    "predict", or "simulate"); ``backend`` the
+    :class:`~repro.replay.backend.ReplayBackend` (None when faults
+    short-circuited before recording); ``predict_fn`` the per-point
+    evaluator closure for the "predict" rung; ``report`` the
+    ground-truth :class:`~repro.whatif.validate.ValidationReport`;
+    ``probe`` the frozen-order :class:`~repro.replay.backend.
+    ProbeReport` when one was measured.
+    """
+
+    mode: str
+    backend: Optional[object]
+    predict_fn: Optional[object]
+    report: Optional[object]
+    probe: Optional[object]
 
 
 def point_key(app: str, variant: str, scale: str, seed: int,
@@ -146,11 +186,19 @@ class Sweeper:
                  workers: Optional[int] = None,
                  cache: Optional[SimCache] = None,
                  tolerance_pp: float = 5.0,
-                 faults=None) -> None:
+                 faults=None,
+                 backend: Optional[str] = None) -> None:
+        if backend is None:
+            backend = "predict" if predict else "simulate"
+        if backend not in ("simulate", "predict", "replay"):
+            raise ValueError(
+                f"unknown sweep backend {backend!r}: expected 'simulate', "
+                f"'predict', or 'replay'")
         self.scale = scale
         self.seed = seed
         self.reporter = reporter
-        self.predict = predict
+        self.backend = backend
+        self.predict = backend == "predict"
         self.workers = workers
         self.cache = cache
         self.tolerance_pp = tolerance_pp
@@ -159,6 +207,8 @@ class Sweeper:
         #: (app, variant, clusters, cluster_size, wan_shape) ->
         #: (predictor-or-None, ValidationReport-or-None)
         self._predictors: Dict[tuple, tuple] = {}
+        #: same key -> memoized :class:`_ReplayDecision`
+        self._replays: Dict[tuple, _ReplayDecision] = {}
 
     @property
     def _active_faults(self):
@@ -272,13 +322,132 @@ class Sweeper:
         return self._predictors[memo_key]
 
     # ------------------------------------------------------------------
+    # Replay machinery (vectorized compiled-DAG pricing)
+    # ------------------------------------------------------------------
+    def _replay(self, app: str, variant: str,
+                clusters: int = grids.NUM_CLUSTERS,
+                cluster_size: int = grids.CLUSTER_SIZE,
+                wan_shape: str = "full") -> _ReplayDecision:
+        """Walk the replay fallback ladder once per (app, variant, shape).
+
+        Raises :class:`~repro.replay.ReplayUnavailable` when numpy is
+        missing — asking for the vectorized backend without its one
+        dependency is a setup error, not a fallback condition.
+        """
+        from ..replay.backend import ReplayBackend, _ProgramEvaluator
+        from ..replay.compile import CompileError
+        from ..whatif.validate import ValidationReport, corner_points, validate
+
+        memo_key = (app, variant, clusters, cluster_size, wan_shape)
+        if memo_key in self._replays:
+            return self._replays[memo_key]
+
+        def decide(decision: _ReplayDecision) -> _ReplayDecision:
+            self._replays[memo_key] = decision
+            self._emit_replay_record(app, variant, decision)
+            return decision
+
+        if self._active_faults is not None:
+            report = ValidationReport(
+                app=app, variant=variant, tolerance_pp=self.tolerance_pp,
+                fallback=True,
+                reason="fault injection active: compiled replay programs "
+                       "model loss only as an expected-value delay, not the "
+                       "plan's seeded faults; simulating every grid point")
+            return decide(_ReplayDecision("simulate", None, None, report, None))
+
+        def topology_for(bw: float, lat: float) -> Topology:
+            return grids.multi_cluster(bw, lat, clusters, cluster_size,
+                                       wan_shape)
+
+        backend = ReplayBackend.for_app(app, variant, scale=self.scale,
+                                        seed=self.seed, cache=self.cache)
+        recording = backend.recording
+        if recording.timing_sensitive:
+            report = validate(recording, 1.0, lambda bw, lat: 1.0, [],
+                              tolerance_pp=self.tolerance_pp)
+            return decide(
+                _ReplayDecision("simulate", backend, None, report, None))
+
+        try:
+            backend.prepare()
+        except CompileError as err:
+            report = ValidationReport(
+                app=app, variant=variant, tolerance_pp=self.tolerance_pp,
+                fallback=True,
+                reason=f"replay compilation failed: {err}")
+            return decide(
+                _ReplayDecision("simulate", backend, None, report, None))
+
+        probe = backend.probe()
+        baseline = self.baseline_runtime(app, variant,
+                                         clusters * cluster_size)
+        corners = corner_points(grids.BANDWIDTHS_MBYTE_S, grids.LATENCIES_MS)
+
+        def sim(bw: float, lat: float) -> float:
+            return self._sim_runtime(app, variant, topology_for(bw, lat))
+
+        if probe.stable:
+            # Ground-truth corner validation of the *program* itself,
+            # sharing validate() verbatim with the predict path.
+            report = validate(
+                recording, baseline_runtime=baseline, simulate=sim,
+                points=corners, tolerance_pp=self.tolerance_pp,
+                evaluator=_ProgramEvaluator(backend.program),
+                topology_for=topology_for)
+            mode = "simulate" if report.fallback else "replay"
+            return decide(_ReplayDecision(mode, backend, None, report, probe))
+
+        # Order-unstable program: downgrade to the interpreted per-point
+        # evaluator, which re-resolves contention at every grid point.
+        evaluator = backend.evaluator
+        report = validate(
+            recording, baseline_runtime=baseline, simulate=sim,
+            points=corners, tolerance_pp=self.tolerance_pp,
+            evaluator=evaluator, topology_for=topology_for)
+        if report.fallback:
+            return decide(
+                _ReplayDecision("simulate", backend, None, report, probe))
+        return decide(_ReplayDecision(
+            "predict", backend,
+            lambda bw, lat: evaluator.evaluate(topology_for(bw, lat)),
+            report, probe))
+
+    def _emit_replay_record(self, app: str, variant: str,
+                            decision: _ReplayDecision) -> None:
+        if self.reporter is None:
+            return
+        from ..replay.backend import replay_record
+
+        backend = decision.backend
+        program = getattr(backend, "program", None)
+        self.reporter.emit(replay_record(
+            app=app, variant=variant, scale=self.scale, seed=self.seed,
+            mode=decision.mode,
+            program_stats=program.stats() if program is not None else None,
+            timings=backend.timings if backend is not None else None,
+            from_cache=backend.from_cache if backend is not None else False,
+            probe_summary=(decision.probe.summary()
+                           if decision.probe is not None else None),
+            validation_summary=(decision.report.summary()
+                                if decision.report is not None else None),
+            meta={"harness": "sweeper"}))
+
+    # ------------------------------------------------------------------
     def speedup_at(self, app: str, variant: str, bandwidth: float,
                    latency_ms: float, clusters: int = grids.NUM_CLUSTERS,
                    cluster_size: int = grids.CLUSTER_SIZE,
                    wan_shape: str = "full") -> GridPoint:
         base = self.baseline_runtime(app, variant, clusters * cluster_size)
         runtime = None
-        if self.predict:
+        if self.backend == "replay":
+            decision = self._replay(app, variant, clusters, cluster_size,
+                                    wan_shape)
+            if decision.mode == "replay":
+                runtime = decision.backend.price(bandwidth, latency_ms)
+            elif decision.mode == "predict":
+                runtime = decision.predict_fn(bandwidth, latency_ms)
+        elif self.predict:
             predict_fn, _report = self._predictor(app, variant, clusters,
                                                   cluster_size, wan_shape)
             if predict_fn is not None:
@@ -346,11 +515,47 @@ class Sweeper:
         base = self.baseline_runtime(app, variant)
         grid = SpeedupGrid(app=app, variant=variant, baseline_runtime=base)
 
-        if self.predict:
+        if self.backend == "replay":
+            decision = self._replay(app, variant)
+            grid.validation = decision.report
+            grid.backend = decision.mode
+            grid.replay = decision.probe
+            if decision.mode in ("replay", "predict"):
+                grid.predicted = True
+                if decision.mode == "replay":
+                    priced = decision.backend.price_grid(bandwidths, latencies)
+                    runtime_at = lambda i, j: float(priced[i][j])
+                else:
+                    runtime_at = lambda i, j: decision.predict_fn(
+                        bandwidths[j], latencies[i])
+                for i, lat in enumerate(latencies):
+                    for j, bw in enumerate(bandwidths):
+                        runtime = runtime_at(i, j)
+                        grid.points[(bw, lat)] = GridPoint(
+                            bandwidth_mbyte_s=bw, latency_ms=lat,
+                            runtime=runtime,
+                            relative_speedup_pct=100.0 * base / runtime)
+                # The validation corners were simulated anyway — splice
+                # the ground truth in so analytic grids agree with full
+                # sweeps bit-for-bit at the spot-check points.
+                for vp in decision.report.points:
+                    key = (vp.bandwidth_mbyte_s, vp.latency_ms)
+                    if key in grid.points:
+                        grid.points[key] = GridPoint(
+                            bandwidth_mbyte_s=vp.bandwidth_mbyte_s,
+                            latency_ms=vp.latency_ms,
+                            runtime=vp.simulated_runtime,
+                            relative_speedup_pct=(
+                                100.0 * base / vp.simulated_runtime))
+                return grid
+            # fall through: full simulation for timing-dependent apps
+
+        elif self.predict:
             predict_fn, report = self._predictor(app, variant)
             grid.validation = report
             if predict_fn is not None:
                 grid.predicted = True
+                grid.backend = "predict"
                 for lat in latencies:
                     for bw in bandwidths:
                         runtime = predict_fn(bw, lat)

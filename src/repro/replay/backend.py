@@ -1,0 +1,292 @@
+"""The replay backend: record once, compile once, re-price everywhere.
+
+:class:`ReplayBackend` packages the full pipeline for one
+``(app, variant, scale, seed)``:
+
+1. **Record** the communication DAG at the reference point
+   (:func:`~repro.whatif.record.record_app`), exactly like the what-if
+   predict path.
+2. **Compile or load** the :class:`~repro.replay.program.ReplayProgram`.
+   Compiled programs are content-addressed into
+   :class:`~repro.experiments.cache.SimCache` (key includes the recorded
+   topology fingerprint and the program format version), so a service
+   cold start pays a millisecond JSON load instead of a recording run.
+3. **Probe** the program against the reference
+   :class:`~repro.whatif.evaluate.Evaluator` at the grid corners.  The
+   compiled program freezes every contention order (resource queues,
+   daemon service) at the reference point; the probe measures how much
+   that frozen order matters at the grid extremes.  DAGs whose orders are
+   stable (asp, barnes: sub-0.3%% everywhere) price vectorized; DAGs
+   whose orders flip (fft's pipelined transpose rounds, water's daemon
+   scheduling) are flagged *order-unstable* and the caller downgrades to
+   the per-point predict path — still analytic, just interpreted.
+4. **Price** whole grids in one vectorized pass, including the
+   loss-rate axis the interpreted paths do not offer.
+
+The fallback ladder, each rung guarded by the next: vectorized replay →
+(order-unstable) → predict path → (timing-sensitive, faults, corner
+validation failure) → full simulation.  :class:`~repro.experiments.
+runner.Sweeper` walks the ladder automatically for ``backend="replay"``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments import grids
+from ..experiments.cache import SimCache
+from ..network.topology import Topology
+from ..whatif.evaluate import Evaluator
+from ..whatif.record import Recording, record_app
+from .compile import CompileError, compile_dag
+from .program import PROGRAM_FORMAT, ReplayProgram
+
+#: Default maximum |program - evaluator| / evaluator runtime disagreement
+#: at a probe point before the DAG is declared order-unstable.  The gap
+#: between stable and unstable DAGs is wide (<0.3% vs >10%), so the
+#: exact threshold is not delicate.
+PROBE_REL_TOL = 0.02
+
+
+@dataclass
+class ProbePoint:
+    """Program vs evaluator at one grid point (both analytic)."""
+
+    bandwidth_mbyte_s: float
+    latency_ms: float
+    replay_runtime: float
+    evaluator_runtime: float
+
+    @property
+    def rel_error(self) -> float:
+        return abs(self.replay_runtime - self.evaluator_runtime) \
+            / self.evaluator_runtime
+
+
+@dataclass
+class ProbeReport:
+    """Stability verdict for one compiled program.
+
+    This is *not* the ground-truth validation (that stays
+    :func:`repro.whatif.validate.validate`, against full simulation): it
+    isolates the one error the compilation step adds on top of the
+    evaluator — frozen contention order — so the backend can downgrade
+    to the interpreted evaluator precisely when compilation, not
+    recording, is what broke.
+    """
+
+    rel_tol: float
+    points: List[ProbePoint] = field(default_factory=list)
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((p.rel_error for p in self.points), default=0.0)
+
+    @property
+    def stable(self) -> bool:
+        return self.max_rel_error <= self.rel_tol
+
+    def summary(self) -> str:
+        if self.stable:
+            return (f"order-stable: max frozen-order error "
+                    f"{self.max_rel_error:.2%} over {len(self.points)} "
+                    f"probe points (tolerance {self.rel_tol:.0%})")
+        return (f"order-unstable: frozen-order error "
+                f"{self.max_rel_error:.2%} exceeds {self.rel_tol:.0%} "
+                f"at the grid corners; using the per-point evaluator")
+
+
+class ReplayBackend:
+    """Compile-and-price harness for one recorded application."""
+
+    def __init__(self, recording: Recording,
+                 cache: Optional[SimCache] = None,
+                 rel_tol: float = PROBE_REL_TOL) -> None:
+        self.recording = recording
+        self.cache = cache
+        self.rel_tol = rel_tol
+        self.program: Optional[ReplayProgram] = None
+        self.from_cache = False
+        #: host-seconds per pipeline stage, for reports and the serve
+        #: job results (record_s is the recording's own wall time).
+        self.timings: Dict[str, float] = {"record_s": recording.wall_time}
+        self._evaluator: Optional[Evaluator] = None
+        self._probe: Optional[ProbeReport] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_app(cls, app: str, variant: str, scale: str = "bench",
+                seed: int = 0, cache: Optional[SimCache] = None,
+                rel_tol: float = PROBE_REL_TOL) -> "ReplayBackend":
+        """Record ``app``/``variant`` at the reference point and wrap it."""
+        recording = record_app(app, variant, scale=scale, seed=seed)
+        return cls(recording, cache=cache, rel_tol=rel_tol)
+
+    # ------------------------------------------------------------------
+    @property
+    def evaluator(self) -> Evaluator:
+        """The interpreted evaluator for the same recording (the probe
+        arbiter, and the downgrade target when orders are unstable)."""
+        if self._evaluator is None:
+            self._evaluator = Evaluator(self.recording.dag)
+        return self._evaluator
+
+    def topology_for(self, bandwidth_mbyte_s: float,
+                     latency_ms: float) -> Topology:
+        """A grid-point topology on the recorded cluster shape."""
+        sizes = self.recording.dag.cluster_sizes
+        return grids.multi_cluster(bandwidth_mbyte_s, latency_ms,
+                                   clusters=len(sizes),
+                                   cluster_size=sizes[0])
+
+    def cache_key(self) -> str:
+        """Content-addressed :class:`SimCache` key of the compiled program.
+
+        Everything the program depends on is in the key: the recording
+        identity (app, variant, scale, seed), the recorded topology
+        fingerprint (shape, link constants, and the reference point the
+        orders were frozen at), and the program format version.
+        """
+        rec = self.recording
+        return (f"replay-{rec.app}-{rec.variant}-{rec.scale}"
+                f"-r{rec.topology.num_ranks}-s{rec.seed}"
+                f"-{rec.topology.fingerprint()}-f{PROGRAM_FORMAT}")
+
+    # ------------------------------------------------------------------
+    def prepare(self) -> ReplayProgram:
+        """Load the compiled program from cache, or compile and store it.
+
+        Raises :class:`~repro.replay.compile.CompileError` for
+        timing-sensitive recordings — callers decide the fallback.
+        """
+        if self.program is not None:
+            return self.program
+        key = self.cache_key()
+        if self.cache is not None:
+            t0 = time.perf_counter()  # lint: ignore[wall-clock]
+            entry = self.cache.lookup(key)
+            if entry is not None and "program" in entry:
+                try:
+                    self.program = ReplayProgram.from_record(entry["program"])
+                except ValueError:
+                    self.program = None   # stale format: recompile below
+                if self.program is not None:
+                    self.from_cache = True
+                    self.timings["load_s"] = \
+                        time.perf_counter() - t0  # lint: ignore[wall-clock]
+                    return self.program
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        self.program = compile_dag(self.recording.dag, self.recording.topology)
+        self.timings["compile_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        if self.cache is not None:
+            rec = self.recording
+            self.cache.store(key, {
+                "kind": "replay",
+                "app": rec.app,
+                "variant": rec.variant,
+                "scale": rec.scale,
+                "seed": rec.seed,
+                "ranks": rec.topology.num_ranks,
+                "fingerprint": rec.topology.fingerprint(),
+                "stats": self.program.stats(),
+                "program": self.program.to_record(),
+            })
+        return self.program
+
+    # ------------------------------------------------------------------
+    def probe(self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
+              latencies: Sequence[float] = grids.LATENCIES_MS) -> ProbeReport:
+        """Frozen-order stability check at the grid corners (memoized)."""
+        if self._probe is not None:
+            return self._probe
+        from ..whatif.validate import corner_points
+
+        program = self.prepare()
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        points = corner_points(bandwidths, latencies)
+        priced = program.price_points(points)
+        report = ProbeReport(rel_tol=self.rel_tol)
+        for (bw, lat), replayed in zip(points, priced):
+            evaluated = self.evaluator.evaluate(self.topology_for(bw, lat))
+            report.points.append(ProbePoint(
+                bandwidth_mbyte_s=bw, latency_ms=lat,
+                replay_runtime=float(replayed),
+                evaluator_runtime=evaluated))
+        self.timings["probe_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        self._probe = report
+        return report
+
+    # ------------------------------------------------------------------
+    def price_grid(self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
+                   latencies: Sequence[float] = grids.LATENCIES_MS,
+                   loss_rates: Optional[Sequence[float]] = None):
+        """Vectorized runtimes for a whole grid; see
+        :meth:`~repro.replay.program.ReplayProgram.price_grid`."""
+        program = self.prepare()
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        out = program.price_grid(bandwidths, latencies, loss_rates)
+        self.timings["price_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        return out
+
+    def price(self, bandwidth_mbyte_s: float, latency_ms: float,
+              loss_rate: float = 0.0) -> float:
+        """Runtime at one grid point."""
+        return self.prepare().price(
+            self.topology_for(bandwidth_mbyte_s, latency_ms), loss_rate)
+
+
+class _ProgramEvaluator:
+    """Adapter presenting a :class:`ReplayProgram` through the
+    ``evaluate(topology)`` surface :func:`repro.whatif.validate.validate`
+    expects, so ground-truth corner validation is shared verbatim with
+    the predict path."""
+
+    def __init__(self, program: ReplayProgram) -> None:
+        self._program = program
+
+    def evaluate(self, topology: Topology) -> float:
+        from ..whatif.evaluate import EvaluationError
+
+        try:
+            return self._program.price(topology)
+        except ValueError as err:
+            raise EvaluationError(str(err)) from err
+
+
+def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
+                  program_stats: Optional[Dict[str, Any]] = None,
+                  timings: Optional[Dict[str, float]] = None,
+                  from_cache: bool = False,
+                  probe_summary: Optional[str] = None,
+                  validation_summary: Optional[str] = None,
+                  meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build one ``replay`` report record (JSON-lines, obs substrate).
+
+    ``mode`` is the rung of the fallback ladder that actually produced
+    the grid: ``"replay"`` (vectorized), ``"predict"`` (order-unstable
+    downgrade), or ``"simulate"`` (timing-sensitive/faulty/invalid).
+    """
+    record: Dict[str, Any] = {
+        "kind": "replay",
+        "meta": dict(meta or {}),
+        "app": app,
+        "variant": variant,
+        "scale": scale,
+        "seed": seed,
+        "replay": {
+            "mode": mode,
+            "from_cache": from_cache,
+            "program": dict(program_stats or {}),
+            "timings": dict(timings or {}),
+        },
+    }
+    if probe_summary is not None:
+        record["replay"]["probe"] = probe_summary
+    if validation_summary is not None:
+        record["replay"]["validation"] = validation_summary
+    return record

@@ -1,0 +1,464 @@
+"""Compile a recorded :class:`~repro.whatif.record.CommDag` to a max-plus
+event program.
+
+The :class:`~repro.whatif.evaluate.Evaluator` replays a DAG with plain
+float arithmetic: every timestamp is built from ``max`` (a process waits
+for a message, a message waits for a busy resource) and ``+`` (compute
+intervals, overheads, wire terms).  Crucially, each ``+`` term is an
+*affine* function of the swept WAN parameters::
+
+    cost(theta) = c0  +  bytes / wide_bw  +  n_hops * wide_lat
+                      +  n_traversals * E_loss(theta)
+
+(local-network terms are constants of the recorded cluster shape — the
+Figure-3 grid sweeps only the WAN).  That makes one full replay a
+**(max, +) circuit** over those four coefficients.  This module runs the
+evaluator's algorithm exactly once, at the recording's reference
+parameters, with symbolic *stamps* instead of floats: a stamp is a node
+of the circuit plus an accumulated affine offset.  ``+`` extends the
+offset (free); ``max`` materializes a binary **join node** with the two
+operand stamps as dependency edges.  The result is a flat program —
+``pred_a``/``pred_b`` index arrays and per-edge coefficient rows — that
+:class:`~repro.replay.program.ReplayProgram` re-prices for an entire
+grid in one vectorized numpy pass, no per-event dispatch.
+
+What is frozen at compile time is the *orders*: the order contended
+resources (NIC, gateway CPU, WAN wire, egress) serve their messages and
+the order daemons serve their handler blocks, both resolved at the
+reference point.  Re-pricing under parameters that would flip one of
+those orders is a first-order approximation — exactly the regime the
+corner validation in :class:`~repro.replay.backend.ReplayBackend`
+exists to catch (and LLAMP's fixed-dependency-graph analysis shares).
+Pure dependency chains (receive pins, compute, spawns) carry over
+exactly: a parked-vs-delivered receive is ``max(t, delivery)`` on both
+paths, so only contention order is approximated.
+
+Join reduction keeps the program small: a ``max`` of two stamps on the
+same node collapses when one offset dominates componentwise, and a
+``max`` against the never-positive root stamp (an idle resource clock)
+is dropped.  What remains is one node per *genuine* synchronization.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..network.topology import Topology
+from ..whatif.evaluate import Evaluator
+from ..whatif.record import (OP_COMPUTE, OP_MCAST, OP_SEND, CommDag,
+                             Recording)
+
+# Heap event kinds, mirroring the evaluator's.
+_EV_SEND = 0
+_EV_MCAST = 1
+_EV_GW = 2
+_EV_ARRIVE = 3
+
+#: A stamp: (node, c0, c_bytes, c_lat, c_loss, ref_time).  ``node`` is a
+#: circuit node id; the c's are the affine offset on top of it; ``ref``
+#: is the concrete time at the reference parameters (heap/service order).
+_ZERO = (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class CompileError(RuntimeError):
+    """The DAG could not be compiled (timing-sensitive or inconsistent)."""
+
+
+class _Circuit:
+    """Append-only join-node store: parallel edge arrays."""
+
+    __slots__ = ("pa", "pb", "ea", "eb", "joins_reduced")
+
+    def __init__(self) -> None:
+        # Node 0 is the root (time zero); give it a self-edge so the
+        # arrays stay aligned with node ids.
+        self.pa: List[int] = [0]
+        self.pb: List[int] = [0]
+        self.ea: List[Tuple[float, float, float, float]] = [(0.0,) * 4]
+        self.eb: List[Tuple[float, float, float, float]] = [(0.0,) * 4]
+        self.joins_reduced = 0
+
+    def join(self, x: tuple, y: tuple) -> tuple:
+        """max(x, y) — reduced where provably one-sided, else a node."""
+        if x[0] == y[0]:
+            if x[1] >= y[1] and x[2] >= y[2] and x[3] >= y[3] and x[4] >= y[4]:
+                self.joins_reduced += 1
+                return x
+            if y[1] >= x[1] and y[2] >= x[2] and y[3] >= x[3] and y[4] >= x[4]:
+                self.joins_reduced += 1
+                return y
+        # The root stamp with no offset is time zero, and every cost
+        # coefficient is non-negative, so max(x, 0) == x.
+        elif x[0] == 0 and x[1] == 0.0 and x[2] == 0.0 and x[3] == 0.0 \
+                and x[4] == 0.0:
+            self.joins_reduced += 1
+            return y
+        elif y[0] == 0 and y[1] == 0.0 and y[2] == 0.0 and y[3] == 0.0 \
+                and y[4] == 0.0:
+            self.joins_reduced += 1
+            return x
+        nid = len(self.pa)
+        self.pa.append(x[0])
+        self.pb.append(y[0])
+        self.ea.append((x[1], x[2], x[3], x[4]))
+        self.eb.append((y[1], y[2], y[3], y[4]))
+        ref = x[5] if x[5] >= y[5] else y[5]
+        return (nid, 0.0, 0.0, 0.0, 0.0, ref)
+
+
+class _Proc:
+    """Mutable compile-time state of one recorded process (stamp clocks)."""
+
+    __slots__ = ("rank", "daemon", "root", "solo_cpu", "solo_send",
+                 "started", "finished", "t", "pc", "segs", "prologue",
+                 "blocks", "ready", "nserved")
+
+    def __init__(self, rank, daemon, root, solo_cpu, solo_send, segs,
+                 prologue, blocks) -> None:
+        self.rank = rank
+        self.daemon = daemon
+        self.root = root
+        self.solo_cpu = solo_cpu
+        self.solo_send = solo_send
+        self.started = root
+        self.finished = False
+        self.t = _ZERO
+        self.pc = 0
+        self.segs = segs
+        self.prologue = prologue
+        self.blocks = blocks
+        self.ready: List[tuple] = []
+        self.nserved = 0
+
+
+def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
+    """Compile ``dag`` into a :class:`~repro.replay.program.ReplayProgram`.
+
+    ``topology`` supplies the fixed (local network, gateway, WAN shape)
+    constants and the reference WAN point the contention orders are
+    resolved at; it defaults to the recording default, the mid-grid
+    :data:`~repro.whatif.record.REFERENCE_POINT` on the DAG's own
+    cluster shape.  Raises :class:`CompileError` for timing-sensitive
+    DAGs — the caller owns the fallback to full simulation.
+    """
+    from .program import ReplayProgram
+
+    if dag.timing_sensitive:
+        raise CompileError(
+            "refusing to compile a timing-sensitive DAG: "
+            + "; ".join(dag.sensitive_reasons))
+    if topology is None:
+        from ..experiments import grids
+        from ..whatif.record import REFERENCE_POINT
+
+        topology = grids.multi_cluster(
+            *REFERENCE_POINT, clusters=len(dag.cluster_sizes),
+            cluster_size=dag.cluster_sizes[0])
+    if topology.cluster_sizes != dag.cluster_sizes:
+        raise CompileError(
+            f"topology shape {topology.cluster_sizes} does not match the "
+            f"recorded shape {dag.cluster_sizes}")
+    if topology.wan_variability is not None:
+        raise CompileError("cannot compile under WAN variability")
+
+    # The segment/block/pin compilation is structural (no link
+    # parameters); reuse the evaluator's rather than duplicating it.
+    shape = Evaluator(dag)
+
+    local_lat = topology.local.latency
+    local_bw = topology.local.bandwidth
+    local_send_ov = topology.local.send_overhead
+    gw_service = topology.gateway_overhead
+    ref_inv_bw = 1.0 / topology.wide.bandwidth
+    ref_lat = topology.wide.latency
+
+    (ch_src, ch_dst_cluster, ch_inter, ch_send_ov, ch_recv_ov,
+     ch_hops) = shape._channel_tables(topology)
+    n_ch = len(ch_src)
+
+    circuit = _Circuit()
+    join = circuit.join
+
+    def plus(s: tuple, c0: float) -> tuple:
+        """Advance a stamp by a grid-constant cost."""
+        return (s[0], s[1] + c0, s[2], s[3], s[4], s[5] + c0)
+
+    def plus_wire(s: tuple, size: float) -> tuple:
+        """Advance by one WAN wire transfer: size / wide_bw."""
+        return (s[0], s[1], s[2] + size, s[3], s[4],
+                s[5] + size * ref_inv_bw)
+
+    def plus_prop(s: tuple) -> tuple:
+        """Advance by one WAN propagation: wide_lat, plus one lossable
+        data traversal (the loss model charges expected retransmission
+        delay per WAN traversal)."""
+        return (s[0], s[1], s[2], s[3] + 1.0, s[4] + 1.0, s[5] + ref_lat)
+
+    # Resource clocks are stamps; idle clocks are the root stamp, which
+    # join() elides entirely.
+    n_ranks = sum(dag.cluster_sizes)
+    n_clusters = topology.num_clusters
+    cpu_free = [_ZERO] * n_ranks
+    nic_free = [_ZERO] * n_ranks
+    gw_free = [_ZERO] * n_clusters
+    gwout_free = [_ZERO] * n_clusters
+    wan_free = {pair: _ZERO for pair in topology.wan_pairs()}
+
+    procs = [_Proc(*c) for c in shape._compiled]
+    pin_off = shape._pin_off
+    ch_next = [0] * n_ch
+    dlv_at: List[tuple] = [_ZERO] * shape._n_pins
+    pin_waiter: List = [None] * shape._n_pins
+    wan_bytes = 0.0
+    wan_traversals = 0
+    for proc in procs:
+        if proc.daemon:
+            for bi, (_cid, _k, pid, _body) in enumerate(proc.blocks):
+                pin_waiter[pid] = (proc, bi)
+
+    # Heap events: (ref_time, seq, kind, channel(s), size, hop, stamp).
+    heap: List[tuple] = []
+    seq = 0
+    runnable: List[Tuple[_Proc, tuple]] = [(p, _ZERO) for p in procs
+                                           if p.root]
+    runnable_append = runnable.append
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    def deliver(cid: int, at: tuple) -> None:
+        k = ch_next[cid]
+        ch_next[cid] = k + 1
+        pid = pin_off[cid] + k
+        dlv_at[pid] = at
+        entry = pin_waiter[pid]
+        if entry is not None:
+            proc, bi = entry
+            if bi >= 0:
+                push(proc.ready, (at[5], bi, at))
+                if proc.started:
+                    runnable_append((proc, at))
+            else:
+                t = join(proc.t, at)
+                t = plus(t, ch_recv_ov[cid])
+                if not proc.solo_cpu:
+                    run_main(proc, t, True)
+                    return
+                segs = proc.segs
+                i = proc.pc
+                n = len(segs)
+                while True:
+                    fdur = segs[i][4]
+                    if fdur < 0.0:
+                        proc.pc = i
+                        run_main(proc, t, True)
+                        return
+                    t = plus(t, fdur)
+                    i += 1
+                    if i == n:
+                        proc.pc = i
+                        proc.t = t
+                        proc.finished = True
+                        return
+                    seg = segs[i]
+                    scid = seg[0]
+                    if seg[1] < ch_next[scid]:
+                        t = join(t, dlv_at[seg[2]])
+                        t = plus(t, ch_recv_ov[scid])
+                    else:
+                        proc.pc = i
+                        proc.t = t
+                        pin_waiter[seg[2]] = (proc, -1)
+                        return
+
+    def book_nic(rank: int, t: tuple, size: float) -> tuple:
+        """Reserve the sender NIC: returns the transfer-end stamp."""
+        end = plus(join(t, nic_free[rank]), size / local_bw)
+        nic_free[rank] = end
+        return end
+
+    def emit_send(t: tuple, scid: int, size: float, rank: int,
+                  solo_send: bool) -> None:
+        nonlocal seq
+        if solo_send:
+            end = book_nic(rank, t, size)
+            if ch_inter[scid]:
+                arrive = plus(end, local_lat)
+                push(heap, (arrive[5], seq, _EV_GW, scid, size, 0, arrive))
+            else:
+                deliver(scid, plus(end, local_lat))
+        else:
+            push(heap, (t[5], seq, _EV_SEND, scid, size, 0, t))
+        seq += 1
+
+    def emit_mcast(t: tuple, cids: tuple, size: float, rank: int,
+                   solo_send: bool) -> None:
+        nonlocal seq
+        if solo_send:
+            end = book_nic(rank, t, size)
+            arrive_at = plus(end, local_lat)
+            for c in cids:
+                deliver(c, arrive_at)
+        else:
+            push(heap, (t[5], seq, _EV_MCAST, cids, size, 0, t))
+        seq += 1
+
+    def run_body(proc: _Proc, t: tuple, body) -> tuple:
+        """Execute the non-receive ops of one segment/block."""
+        rank = proc.rank
+        for op in body:
+            code = op[0]
+            if code == OP_COMPUTE:
+                if proc.solo_cpu:
+                    t = plus(t, op[1])
+                else:
+                    t = plus(join(t, cpu_free[rank]), op[1])
+                    cpu_free[rank] = t
+            elif code == OP_SEND:
+                scid = op[1]
+                t = plus(t, ch_send_ov[scid])
+                emit_send(t, scid, op[2], rank, proc.solo_send)
+            elif code == OP_MCAST:
+                t = plus(t, local_send_ov)
+                emit_mcast(t, op[1], op[2], rank, proc.solo_send)
+            else:  # OP_SPAWN
+                child_idx = op[1]
+                if child_idx >= 0:
+                    child = procs[child_idx]
+                    if not child.started:
+                        child.started = True
+                        runnable_append((child, t))
+        return t
+
+    def run_main(proc: _Proc, t: tuple, skip: bool) -> None:
+        segs = proc.segs
+        i = proc.pc
+        n = len(segs)
+        while i < n:
+            cid, k, pid, body, _fdur = segs[i]
+            if skip:
+                skip = False
+            elif cid >= 0:
+                if k < ch_next[cid]:
+                    t = join(t, dlv_at[pid])
+                    t = plus(t, ch_recv_ov[cid])
+                else:
+                    proc.pc = i
+                    proc.t = t
+                    pin_waiter[pid] = (proc, -1)
+                    return
+            t = run_body(proc, t, body)
+            i += 1
+        proc.pc = i
+        proc.t = t
+        proc.finished = True
+
+    def run_daemon(proc: _Proc, now: tuple) -> None:
+        t = join(proc.t, now)
+        ready = proc.ready
+        blocks = proc.blocks
+        body = proc.prologue
+        at: Optional[tuple] = None
+        while True:
+            if body is None:
+                if not ready:
+                    break
+                _ref, bi, at = pop(ready)
+                cid, _k, _pid, body = blocks[bi]
+                t = join(t, at)
+                t = plus(t, ch_recv_ov[cid])
+                proc.nserved += 1
+            t = run_body(proc, t, body)
+            body = None
+        proc.prologue = None
+        proc.t = t
+        if proc.nserved == len(blocks):
+            proc.finished = True
+
+    # Drain loop — identical control flow to Evaluator.evaluate.
+    while runnable or heap:
+        while runnable:
+            proc, at = runnable.pop()
+            if proc.finished:
+                continue
+            if proc.daemon:
+                if proc.ready or proc.prologue is not None:
+                    run_daemon(proc, at)
+            else:
+                run_main(proc, join(proc.t, at), False)
+        if not heap:
+            break
+        _at_ref, _s, kind, cid, size, hop_idx, stamp = pop(heap)
+        if kind == _EV_SEND:
+            end = book_nic(ch_src[cid], stamp, size)
+            if ch_inter[cid]:
+                arrive = plus(end, local_lat)
+                push(heap, (arrive[5], seq, _EV_GW, cid, size, 0, arrive))
+                seq += 1
+            else:
+                deliver(cid, plus(end, local_lat))
+        elif kind == _EV_GW:
+            hops = ch_hops[cid]
+            here, nxt = hops[hop_idx]
+            ready_at = plus(join(stamp, gw_free[here]), gw_service)
+            gw_free[here] = ready_at
+            wend = plus_wire(join(ready_at, wan_free[(here, nxt)]), size)
+            wan_free[(here, nxt)] = wend
+            wan_bytes += size
+            wan_traversals += 1
+            arrive = plus_prop(wend)
+            next_kind = _EV_GW if hop_idx + 1 < len(hops) else _EV_ARRIVE
+            push(heap, (arrive[5], seq, next_kind, cid, size, hop_idx + 1,
+                        arrive))
+            seq += 1
+        elif kind == _EV_ARRIVE:
+            dst_cluster = ch_dst_cluster[cid]
+            ready_at = plus(join(stamp, gw_free[dst_cluster]), gw_service)
+            gw_free[dst_cluster] = ready_at
+            oend = plus(join(ready_at, gwout_free[dst_cluster]),
+                        size / local_bw)
+            gwout_free[dst_cluster] = oend
+            deliver(cid, plus(oend, local_lat))
+        else:  # _EV_MCAST
+            end = book_nic(ch_src[cid[0]], stamp, size)
+            arrive_at = plus(end, local_lat)
+            for c in cid:
+                deliver(c, arrive_at)
+
+    unfinished = [p for p in procs
+                  if p.started and not p.finished and not p.daemon]
+    if unfinished:
+        names = [dag.procs[procs.index(p)].name for p in unfinished[:5]]
+        raise CompileError(
+            f"compile replay stalled with {len(unfinished)} main processes "
+            f"blocked (first: {names}); the recording is inconsistent")
+    finish = [p.t for p in procs if p.root and not p.daemon]
+    if not finish:
+        raise CompileError("recording contains no main processes")
+
+    meta = {
+        "cluster_sizes": list(dag.cluster_sizes),
+        "wan_shape": topology.wan_shape,
+        "wan_hub": topology.wan_hub,
+        "reference": [topology.wide.bandwidth, topology.wide.latency],
+        "local_spec": [topology.local.latency, topology.local.bandwidth,
+                       topology.local.send_overhead,
+                       topology.local.recv_overhead],
+        "wide_overheads": [topology.wide.send_overhead,
+                           topology.wide.recv_overhead],
+        "gateway_overhead_s": gw_service,
+        "wan_bytes": wan_bytes,
+        "wan_traversals": wan_traversals,
+        "joins_reduced": circuit.joins_reduced,
+        "num_ops": dag.num_ops,
+        "num_messages": dag.num_messages,
+    }
+    return ReplayProgram.from_circuit(
+        circuit.pa, circuit.pb, circuit.ea, circuit.eb,
+        [(s[0], s[1], s[2], s[3], s[4]) for s in finish], meta)
+
+
+def compile_recording(recording: Recording):
+    """Compile a :class:`~repro.whatif.record.Recording` on its own
+    recorded topology (the usual entry point)."""
+    return compile_dag(recording.dag, recording.topology)

@@ -19,6 +19,9 @@ Examples::
     # chaos and profile traffic through the same front end
     python -m repro submit asp --kind chaos --loss 0.01 --connect ...
     python -m repro submit fft --kind profile --connect ...
+
+    # analytic fast paths: interpreted (whatif) or vectorized (replay)
+    python -m repro submit asp --kind replay --connect ...
 """
 
 from __future__ import annotations
@@ -172,7 +175,8 @@ def submit_main(argv: Optional[list] = None) -> int:
     parser.add_argument("--variant", default=None,
                         choices=["optimized", "unoptimized"])
     parser.add_argument("--kind", default="sweep",
-                        choices=["sweep", "whatif", "chaos", "profile"])
+                        choices=["sweep", "whatif", "replay", "chaos",
+                                 "profile"])
     parser.add_argument("--scale", default="bench",
                         choices=["paper", "bench"])
     parser.add_argument("--seed", type=int, default=0)
@@ -251,7 +255,7 @@ def submit_main(argv: Optional[list] = None) -> int:
         print(f"[{job['id']}] {state}: {end.get('points_done', 0)}/"
               f"{end.get('points_total', 0)} points, "
               f"hit rate {100.0 * end.get('hit_rate', 0.0):.0f}%")
-        if state == "done" and args.kind in ("sweep", "whatif"):
+        if state == "done" and args.kind in ("sweep", "whatif", "replay"):
             try:
                 _render_grid(records)
             except ServeError:

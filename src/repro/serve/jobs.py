@@ -17,6 +17,12 @@ Kinds:
 ``whatif``
     The record-once analytic fast path (:mod:`repro.whatif`): corner
     validation + evaluated grid, one worker task for the whole grid.
+``replay``
+    The compiled vectorized fast path (:mod:`repro.replay`): the
+    recorded DAG is compiled to a flat event program (content-addressed
+    into the cache, so a warm server prices without re-recording) and
+    the grid is priced in one numpy pass, with the same corner
+    validation and automatic downgrade ladder as ``whatif``.
 ``chaos``
     Per-point runs under the job's :class:`~repro.faults.plan.FaultPlan`
     with the ``max_events`` budget enforced; results report survival and
@@ -46,7 +52,7 @@ from ..experiments import grids
 from ..experiments.runner import baseline_key, point_key
 
 #: Legal job kinds, in documentation order.
-KINDS: Tuple[str, ...] = ("sweep", "whatif", "chaos", "profile")
+KINDS: Tuple[str, ...] = ("sweep", "whatif", "replay", "chaos", "profile")
 
 #: Job lifecycle states (see docs/serve.md for the transition diagram).
 QUEUED = "queued"
@@ -244,19 +250,21 @@ class JobSpec:
             raise InvalidJob(f"wan_shape must be full/star/ring, "
                              f"got {wan_shape!r}")
 
-        if kind == "whatif" and (clusters, cluster_size, wan_shape) != (
+        if kind in ("whatif", "replay") and (
+                clusters, cluster_size, wan_shape) != (
                 grids.NUM_CLUSTERS, grids.CLUSTER_SIZE, "full"):
             raise InvalidJob(
-                "whatif jobs run on the paper's 4x8 full-mesh shape only "
-                "(the record-once predictor validates against its corners)")
+                f"{kind} jobs run on the paper's 4x8 full-mesh shape only "
+                f"(the record-once pipeline validates against its corners)")
 
         faults = _canonical_faults(payload.get("faults"))
         if kind == "chaos" and faults is None:
             raise InvalidJob("chaos jobs need a faults object "
                              "(e.g. {\"loss\": 0.01})")
-        if kind == "whatif" and faults is not None:
-            raise InvalidJob("whatif jobs cannot carry faults: recorded "
-                             "DAGs do not model loss or retransmission")
+        if kind in ("whatif", "replay") and faults is not None:
+            raise InvalidJob(
+                f"{kind} jobs cannot carry faults: recorded DAGs do not "
+                f"model the plan's seeded loss or retransmission")
 
         max_events = payload.get("max_events")
         if max_events is not None and (
@@ -326,7 +334,7 @@ class JobSpec:
     @property
     def needs_baseline(self) -> bool:
         """Sweep-like kinds report speedups, which need the baseline."""
-        return self.kind in ("sweep", "whatif")
+        return self.kind in ("sweep", "whatif", "replay")
 
     def total_points(self) -> int:
         """Units of simulation work the job will schedule (incl. baseline)."""
@@ -362,9 +370,9 @@ class JobSpec:
                              self.cluster_size, self.wan_shape)
         if self.kind == "sweep" and not self.faults:
             return base
-        if self.kind == "whatif" and (bandwidth_mbyte_s is None or
-                                      latency_ms is None):
-            return base    # the whatif baseline is a plain clean simulation
+        if self.kind in ("whatif", "replay") and (
+                bandwidth_mbyte_s is None or latency_ms is None):
+            return base    # these baselines are plain clean simulations
         return base + self._key_suffix()
 
     def point_payload(self, bandwidth_mbyte_s: Optional[float],

@@ -280,7 +280,7 @@ class Scheduler:
             "seed": spec.seed, "bandwidth_mbyte_s": bw, "latency_ms": lat,
         }
         clean = (spec.kind == "sweep" and not spec.faults) or \
-            (spec.kind == "whatif" and bw is None)
+            (spec.kind in ("whatif", "replay") and bw is None)
         if not clean:
             record["kind"] = spec.kind
         record.update(result)
@@ -319,7 +319,7 @@ class Scheduler:
     def _dispatch(self, payload: Dict[str, Any], job: Job,
                   fn=worker.run_point) -> asyncio.Future:
         payload = dict(payload)
-        if payload.get("kind") != "whatif-grid":
+        if payload.get("kind") not in ("whatif-grid", "replay-grid"):
             payload["max_events"] = self.policy.effective_max_events(job.spec)
         job.dispatched += 1
         self.registry.counter("serve.points.dispatched").inc()
@@ -343,7 +343,7 @@ class Scheduler:
         job.state = RUNNING
         cancel_event = self._cancel_events[job.id]
         try:
-            if job.spec.kind == "whatif":
+            if job.spec.kind in ("whatif", "replay"):
                 await self._run_whatif(job)
             else:
                 await self._run_pointwise(job)
@@ -444,14 +444,19 @@ class Scheduler:
                          "runtime": result["runtime"], "cached": False})
         return result["runtime"]
 
-    # -- whatif ---------------------------------------------------------
+    # -- whatif / replay -------------------------------------------------
     async def _run_whatif(self, job: Job) -> None:
-        """Record-once fast path: one pool task for the whole grid.
+        """Analytic fast paths: one pool task for the whole grid.
 
-        If every predicted point *and* the baseline are already cached
-        the task is skipped entirely; otherwise its evaluated points are
-        stored under their content keys so the next identical job is a
-        pure cache job.
+        Covers both grid-at-once kinds — ``whatif`` (interpreted
+        evaluator) and ``replay`` (compiled vectorized program).  If
+        every point *and* the baseline are already cached the task is
+        skipped entirely; otherwise its points are stored under their
+        content keys so the next identical job is a pure cache job.  A
+        ``replay`` job additionally leaves the compiled program itself
+        in the cache (stored by the worker's Sweeper), so even a
+        cold-cache repeat on a fresh grid skips recording and
+        compilation.
         """
         spec = job.spec
         points = spec.points()
@@ -475,17 +480,26 @@ class Scheduler:
                     baseline=baseline))
             return
 
-        payload = {"kind": "whatif-grid", "app": spec.app,
+        grid_kind = "replay-grid" if spec.kind == "replay" else "whatif-grid"
+        grid_fn = worker.run_replay_grid if spec.kind == "replay" \
+            else worker.run_whatif_grid
+        payload = {"kind": grid_kind, "app": spec.app,
                    "variant": spec.variant, "scale": spec.scale,
                    "seed": spec.seed, "bandwidths": list(spec.bandwidths),
                    "latencies": list(spec.latencies),
                    "cache_root": self.cache.root}
-        future = self._dispatch(payload, job, fn=worker.run_whatif_grid)
+        future = self._dispatch(payload, job, fn=grid_fn)
         done = await self._await_or_cancel(job, {future})
         if not done:
             future.cancel()
             return
         result = future.result()
+        if spec.kind == "replay":
+            # replay.* metrics: one count per fallback-ladder rung, so a
+            # dashboard shows how much traffic actually vectorizes.
+            self.registry.counter("replay.jobs").inc()
+            self.registry.counter(
+                f"replay.mode.{result.get('mode', 'unknown')}").inc()
         baseline = result["baseline"]
         self.cache.store(spec.cache_key(None, None),
                          self._stored_record(spec, None, None,
@@ -496,14 +510,19 @@ class Scheduler:
         if "fallback_reason" in result:
             record["fallback_reason"] = result["fallback_reason"]
         record["predicted"] = result["predicted"]
+        for extra in ("mode", "probe"):
+            if extra in result:
+                record[extra] = result[extra]
         self._emit(job, record)
         by_point = {(p["bandwidth_mbyte_s"], p["latency_ms"]): p
                     for p in result["points"]}
+        point_meta: Dict[str, Any] = {"predicted": result["predicted"]}
+        if "mode" in result:
+            point_meta["mode"] = result["mode"]
         for bw, lat in points:
             point = by_point[(bw, lat)]
             stored = self._stored_record(
-                spec, bw, lat, {"runtime": point["runtime"],
-                                "predicted": result["predicted"]})
+                spec, bw, lat, {"runtime": point["runtime"], **point_meta})
             self.cache.store(spec.cache_key(bw, lat), stored)
             self._account_point(job, cached=False)
             self._emit(job, self._point_record(job, bw, lat, stored,

@@ -1,0 +1,109 @@
+"""Backend behavior: program caching, the probe, and cache kinds.
+
+The compiled program is a first-class :class:`SimCache` citizen: stored
+under a content-addressed key (recording identity + topology fingerprint
++ program format), attributed separately in ``stats()``, clearable on
+its own, and reloaded bit-identically — the serve cold path depends on
+every one of these.
+"""
+
+import pytest
+
+from repro.experiments import grids
+from repro.experiments.cache import SimCache
+from repro.replay import require_numpy
+from repro.replay.backend import PROBE_REL_TOL, ReplayBackend
+from repro.replay.program import PROGRAM_FORMAT
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("replay-cache"))
+
+
+def test_prepare_compiles_then_loads_from_cache(cache_root):
+    np = require_numpy()
+    cache = SimCache(cache_root)
+    first = ReplayBackend.for_app("asp", "optimized", cache=cache)
+    program = first.prepare()
+    assert not first.from_cache
+    assert "compile_s" in first.timings
+
+    second = ReplayBackend.for_app("asp", "optimized", cache=cache)
+    reloaded = second.prepare()
+    assert second.from_cache
+    assert "load_s" in second.timings and "compile_s" not in second.timings
+    assert np.array_equal(reloaded.fin_edge, program.fin_edge)
+    assert reloaded.price_grid(grids.BANDWIDTHS_MBYTE_S,
+                               grids.LATENCIES_MS).tolist() == \
+        program.price_grid(grids.BANDWIDTHS_MBYTE_S,
+                           grids.LATENCIES_MS).tolist()
+
+
+def test_cache_key_pins_format_and_fingerprint(cache_root):
+    backend = ReplayBackend.for_app("asp", "optimized")
+    key = backend.cache_key()
+    assert key.startswith("replay-asp-optimized-bench-")
+    assert key.endswith(f"-f{PROGRAM_FORMAT}")
+    assert backend.recording.topology.fingerprint() in key
+
+
+def test_stale_cached_format_recompiles(cache_root):
+    cache = SimCache(cache_root)
+    backend = ReplayBackend.for_app("asp", "optimized", seed=3, cache=cache)
+    key = backend.cache_key()
+    backend.prepare()
+    entry = cache.lookup(key)
+    entry["program"]["format"] = PROGRAM_FORMAT + 1
+    cache.store(key, entry)
+
+    again = ReplayBackend.for_app("asp", "optimized", seed=3, cache=cache)
+    again.prepare()
+    assert not again.from_cache            # stale entry was not trusted
+    assert "compile_s" in again.timings
+    assert cache.lookup(key)["program"]["format"] == PROGRAM_FORMAT
+
+
+def test_probe_verdicts_split_by_order_stability():
+    stable = ReplayBackend.for_app("asp", "optimized")
+    report = stable.probe()
+    assert report.stable
+    assert report.max_rel_error <= PROBE_REL_TOL
+    assert "order-stable" in report.summary()
+
+    unstable = ReplayBackend.for_app("fft", "unoptimized")
+    report = unstable.probe()
+    assert not report.stable
+    assert "order-unstable" in report.summary()
+    assert len(report.points) == 4
+
+
+# ----------------------------------------------------------------------
+# SimCache kind accounting
+# ----------------------------------------------------------------------
+def test_cache_stats_attribute_kinds_separately(tmp_path):
+    cache = SimCache(str(tmp_path / "c"))
+    cache.put("asp", "optimized", "bench", 0, grids.baseline(), 1.0)
+    backend = ReplayBackend.for_app("asp", "optimized", cache=cache)
+    backend.prepare()
+
+    kinds = cache.stats()["kinds"]
+    assert kinds["runtime"]["entries"] == 1
+    assert kinds["replay"]["entries"] == 1
+    # a compiled program dwarfs a runtime memo
+    assert kinds["replay"]["bytes"] > 100 * kinds["runtime"]["bytes"]
+
+
+def test_cache_clear_by_kind(tmp_path):
+    cache = SimCache(str(tmp_path / "c"))
+    cache.put("asp", "optimized", "bench", 0, grids.baseline(), 1.0)
+    backend = ReplayBackend.for_app("asp", "optimized", cache=cache)
+    backend.prepare()
+    assert len(cache) == 2
+
+    assert cache.clear(kind="replay") == 1
+    assert len(cache) == 1
+    assert cache.get("asp", "optimized", "bench", 0, grids.baseline()) == 1.0
+    # kind-filtered clear of an absent kind is a no-op
+    assert cache.clear(kind="replay") == 0
+    assert cache.clear() == 1

@@ -1,0 +1,61 @@
+"""The fallback ladder: every rung must fail *closed*, to simulation.
+
+The replay backend is only allowed to be fast where it is provably
+safe.  Timing-sensitive DAGs (tsp's work stealing, awari's MARK
+protocol), fault-bearing sweeps, and order-unstable programs each have
+a designated landing rung, and a missing numpy must surface as the one
+clear :class:`ReplayUnavailable` error.
+"""
+
+import sys
+
+import pytest
+
+from repro.experiments.runner import Sweeper
+from repro.faults import FaultPlan, PacketLoss
+from repro.replay import ReplayUnavailable
+
+#: small axes: fallback rungs are decided before any pricing, so the
+#: grids here only need enough points to prove the decision stuck
+BWS = (6.3, 2.6)
+LATS = (0.5, 1.3)
+
+
+@pytest.mark.parametrize("app", ["tsp", "awari"])
+def test_timing_sensitive_apps_fall_back_to_simulation(app):
+    grid = Sweeper(backend="replay").speedup_grid(
+        app, "optimized", bandwidths=BWS, latencies=LATS)
+    assert grid.backend == "simulate"
+    assert not grid.predicted
+    assert grid.validation is not None
+    assert grid.validation.fallback
+    assert "timing" in grid.validation.reason
+    assert len(grid.points) == len(BWS) * len(LATS)
+
+
+def test_lossy_fault_plan_falls_back_to_simulation():
+    plan = FaultPlan(loss=(PacketLoss(probability=0.05),))
+    grid = Sweeper(backend="replay", faults=plan).speedup_grid(
+        "asp", "optimized", bandwidths=BWS, latencies=LATS)
+    assert grid.backend == "simulate"
+    assert not grid.predicted
+    assert grid.validation.fallback
+    assert "fault" in grid.validation.reason
+    assert len(grid.points) == len(BWS) * len(LATS)
+
+
+def test_order_unstable_program_downgrades_to_predict():
+    grid = Sweeper(backend="replay").speedup_grid(
+        "fft", "unoptimized", bandwidths=BWS, latencies=LATS)
+    assert grid.backend == "predict"
+    assert grid.predicted
+    assert grid.replay is not None and not grid.replay.stable
+    # downgrade is not a fallback: the analytic path still validated
+    assert grid.validation is not None and not grid.validation.fallback
+
+
+def test_missing_numpy_surfaces_as_replay_unavailable(monkeypatch):
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    with pytest.raises(ReplayUnavailable):
+        Sweeper(backend="replay").speedup_grid(
+            "asp", "optimized", bandwidths=BWS, latencies=LATS)
