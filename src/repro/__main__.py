@@ -52,6 +52,8 @@ COMMANDS = {
     "cache": (cache_cli.main, "Inspect/clear the on-disk simulation result cache"),
     "bench": (bench.main, "Hot-path benchmarks; record/check BENCH_simperf.json"),
     "lint": (lint_cli.main, "Static determinism/protocol lint over app modules"),
+    "protograph": (lint_cli.protograph_main,
+                   "Export static communication graphs + stability labels"),
     "chaos": (chaos_cli.main, "Run one app under an injected WAN fault plan"),
     "degraded": (degraded.main, "Figure 3 re-run under fixed WAN loss rates"),
     "serve": (serve_cli.serve_main, "Run the simulation-as-a-service front end"),

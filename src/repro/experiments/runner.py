@@ -431,6 +431,8 @@ class Sweeper:
                            if decision.probe is not None else None),
             validation_summary=(decision.report.summary()
                                 if decision.report is not None else None),
+            static_hint=(backend.static_hint
+                         if backend is not None else None),
             meta={"harness": "sweeper"}))
 
     # ------------------------------------------------------------------

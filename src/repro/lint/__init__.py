@@ -12,10 +12,20 @@ Two prongs guard the invariants every published number rests on:
   drained-while-blocked states into wait-for-cycle reports with
   per-process blocked-at backtraces.
 
+A third prong, :mod:`repro.lint.proto`, lifts the static checks to
+whole programs: an interprocedural abstract interpreter extracts each
+registered app/variant's rank-symbolic communication skeleton, then
+checks static deadlock cycles, unmatched symbolic channels and
+determinism taint, and classifies every app's order stability
+(``stable | unstable | timing-sensitive``) for the replay ladder.
+CLI: ``python -m repro lint --proto`` / ``python -m repro protograph``.
+
 See ``docs/lint.md`` for the rule catalogue and suppression syntax.
 """
 
-from .rules import Finding, RULES, RUNTIME_RULES, Rule, STATIC_RULES
+from .baseline import filter_new, load_baseline, write_baseline
+from .rules import (Finding, PROTO_RULES, RULES, RUNTIME_RULES, Rule,
+                    STATIC_RULES)
 from .sanitizer import (DeadlockReport, Sanitizer, SanitizerError,
                         blocked_frames)
 from .static import lint_paths, lint_source
@@ -26,8 +36,12 @@ __all__ = [
     "RULES",
     "STATIC_RULES",
     "RUNTIME_RULES",
+    "PROTO_RULES",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "write_baseline",
+    "filter_new",
     "Sanitizer",
     "SanitizerError",
     "DeadlockReport",

@@ -1,0 +1,78 @@
+"""Lint baselines: ratchet CI without fixing historical findings first.
+
+A baseline file is a JSON snapshot of known findings.  ``repro lint
+--baseline known.json`` subtracts the snapshot from the current run and
+fails only on *new* findings; ``--write-baseline known.json`` records
+the current findings as the accepted set.
+
+Findings are keyed by ``(file, rule, message)`` — deliberately not by
+line number, so unrelated edits that shift a known finding up or down
+the file do not resurface it.  Multiple identical findings collapse
+into one key; a count is kept so baselines stay meaningful when a
+finding is partially fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from .rules import Finding
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> Key:
+    return (finding.file, finding.rule, finding.message)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` to ``path`` (sorted, stable output)."""
+    counts: Dict[Key, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [{"file": file, "rule": rule, "message": message,
+                "count": counts[(file, rule, message)]}
+               for file, rule, message in sorted(counts)]
+    payload = {"version": _VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict[Key, int]:
+    """Load a baseline snapshot; raises ``ValueError`` on bad shape."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = payload.get("version", 0)
+    if version != _VERSION:
+        raise ValueError(f"{path}: unsupported baseline version {version!r}")
+    counts: Dict[Key, int] = {}
+    for entry in payload["findings"]:
+        key = (str(entry.get("file", "")), str(entry.get("rule", "")),
+               str(entry.get("message", "")))
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def filter_new(findings: Sequence[Finding],
+               baseline: Dict[Key, int]) -> List[Finding]:
+    """Findings not covered by ``baseline``.
+
+    Each baseline entry absorbs up to ``count`` identical findings;
+    anything beyond that (or unknown) is new and is returned.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

@@ -1,0 +1,33 @@
+"""``repro.lint.proto`` — interprocedural communication-protocol
+analyzer.
+
+An abstract interpreter (:mod:`.interp`) extracts a rank-symbolic
+communication skeleton per registered app/variant; :mod:`.analyses`
+runs symbolic matching/deadlock detection, order-stability
+classification, and determinism-taint tracking over it; :mod:`.report`
+packages the results for the lint CLI, the ``protograph`` export, the
+replay ladder's pre-recording hint, and the runtime superset harness.
+"""
+
+from .analyses import (Classification, LABEL_STABLE, LABEL_TIMING,
+                       LABEL_UNSTABLE, StaticCycle, TaintFlow,
+                       UnmatchedRecv, classify, find_deadlocks,
+                       find_taints, find_unmatched, pipelined_fanins)
+from .graph import (AV, Cell, ChannelEdge, ProcTrace, ProtoGraph, ProtoOp,
+                    Skeleton)
+from .interp import ModuleSet, analyze_app
+from .report import (analyze, analyze_all, classification_table,
+                     classify_all, graphs_dot, graphs_json,
+                     observed_pairs, order_stability_label,
+                     proto_findings, verify_superset)
+
+__all__ = [
+    "AV", "Cell", "ChannelEdge", "Classification", "LABEL_STABLE",
+    "LABEL_TIMING", "LABEL_UNSTABLE", "ModuleSet", "ProcTrace",
+    "ProtoGraph", "ProtoOp", "Skeleton", "StaticCycle", "TaintFlow",
+    "UnmatchedRecv", "analyze", "analyze_all", "analyze_app",
+    "classification_table", "classify", "classify_all", "find_deadlocks",
+    "find_taints", "find_unmatched", "graphs_dot", "graphs_json",
+    "observed_pairs", "order_stability_label", "pipelined_fanins",
+    "proto_findings", "verify_superset",
+]

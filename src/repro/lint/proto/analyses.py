@@ -1,0 +1,342 @@
+"""The three analyses over a static communication skeleton.
+
+1. :func:`find_unmatched` / :func:`find_deadlocks` — symbolic send/recv
+   unification and wait-for cycle detection over *mandatory* blocking
+   receives (unconditional, outside loops).  The cycle report mirrors
+   the runtime sanitizer's :class:`~repro.lint.sanitizer.DeadlockReport`
+   format with symbolic ranks.
+2. :func:`classify` — the order-stability label (``stable`` /
+   ``unstable`` / ``timing-sensitive``) that feeds the replay ladder.
+3. :func:`find_taints` — whole-program determinism findings: values
+   tainted by wall-clock reads, unseeded RNG, or set iteration that
+   flow into communication sinks.
+
+Order-stability decision procedure (validated against the runtime
+probe verdicts of all six apps, both variants):
+
+- **timing-sensitive** — the registry says so (``timing_dependent``),
+  or the skeleton reaches ``recv_nowait`` polling, a ``ctx.sleep``
+  timer, or a work loop whose exit is decided by received payloads
+  (work stealing, marker-counted exchanges).  The DAG itself changes
+  with timing; only simulation is faithful.
+- **unstable** — deterministic DAG, but the *service order* at shared
+  resources depends on arrival order: a daemon defers message-derived
+  work (parks requests, serves them from later handlers, or gates
+  sends on loop-carried counters), or the main coroutine runs two or
+  more pipelined counted fan-ins with no barrier between them.  Frozen
+  replay orders drift; the per-point evaluator is required.
+- **stable** — everything else: paired/tagged point-to-point plus
+  collectives, immediate-reply services.  Vectorized replay is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..static import shape_repr
+from .graph import ProcTrace, ProtoOp, Skeleton, WILD, edges_match
+
+LABEL_STABLE = "stable"
+LABEL_UNSTABLE = "unstable"
+LABEL_TIMING = "timing-sensitive"
+
+
+def _is_wildish(shape: Tuple) -> bool:
+    if shape == WILD:
+        return True
+    if shape[0] == "prefix":
+        return shape[1] == ""
+    if shape[0] == "tuple":
+        return all(_is_wildish(part) for part in shape[1])
+    return False
+
+
+# ----------------------------------------------------------------------
+# Matching / unmatched receives
+# ----------------------------------------------------------------------
+
+@dataclass
+class UnmatchedRecv:
+    proc: str
+    tag: Tuple
+    site: Tuple[str, int]
+
+    def message(self) -> str:
+        return (f"recv({shape_repr(self.tag)}) in {self.proc} matches no "
+                f"send site in the app's static channel graph")
+
+
+def find_unmatched(skeleton: Skeleton) -> List[UnmatchedRecv]:
+    """Receives whose symbolic tag unifies with no send site."""
+    if skeleton.incomplete:
+        return []        # widened graphs match everything
+    sends = [op.tag for op in skeleton.send_ops()]
+    out: List[UnmatchedRecv] = []
+    seen: Set[Tuple] = set()
+    for op in skeleton.recv_ops():
+        if _is_wildish(op.tag):
+            continue
+        if any(edges_match(op.tag, send_tag) for send_tag in sends):
+            continue
+        key = (op.site, op.tag)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(UnmatchedRecv(proc=op.proc, tag=op.tag, site=op.site))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Static deadlock cycles
+# ----------------------------------------------------------------------
+
+@dataclass
+class StaticCycle:
+    """A wait-for cycle over mandatory blocking receives.
+
+    Rendering mirrors :meth:`repro.lint.sanitizer.DeadlockReport.render`
+    with symbolic ranks: each entry is one process class blocked on its
+    first mandatory receive, waiting on a sender that is itself blocked.
+    """
+
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        chain = " -> ".join(
+            f"rank*[{e['proc']}] waits {e['tag']}" for e in self.entries)
+        lines = [f"static deadlock cycle: {chain} -> (back to start)"]
+        for entry in self.entries:
+            path, lineno = entry["site"]
+            lines.append(
+                f"  rank* [{entry['proc']}] blocked on recv({entry['tag']})"
+                f" at {path}:{lineno} in {entry['proc']}")
+        return "\n".join(lines)
+
+
+def find_deadlocks(skeleton: Skeleton) -> List[StaticCycle]:
+    """Wait-for cycles among procs blocked on mandatory receives.
+
+    A receive is *at risk* only when every matching send site sits
+    behind the sender's own mandatory blocking receive — conditional
+    and loop-body operations never create static cycles (the runtime
+    sanitizer owns those timing-dependent cases).
+    """
+    traces = [t for t in skeleton.procs if not t.incomplete]
+    mand: Dict[str, List[ProtoOp]] = {
+        t.name: t.mandatory_ops() for t in traces}
+    first_recv: Dict[str, Optional[int]] = {}
+    for name, ops in mand.items():
+        idx = next((i for i, op in enumerate(ops) if op.kind == "recv"),
+                   None)
+        first_recv[name] = idx
+
+    waits: Dict[str, Tuple[ProtoOp, Set[str]]] = {}
+    for name, ops in mand.items():
+        idx = first_recv[name]
+        if idx is None:
+            continue
+        recv = ops[idx]
+        servicers: List[Tuple[str, int]] = []
+        for other, other_ops in mand.items():
+            for j, op in enumerate(other_ops):
+                if op.kind in ("send", "mcast") and \
+                        edges_match(recv.tag, op.tag):
+                    servicers.append((other, j))
+        if not servicers:
+            continue
+        blocked_senders: Set[str] = set()
+        serviceable = False
+        for other, j in servicers:
+            other_first = first_recv[other]
+            if other_first is None or j < other_first:
+                serviceable = True
+                break
+            blocked_senders.add(other)
+        if not serviceable and blocked_senders:
+            waits[name] = (recv, blocked_senders)
+
+    # Cycle detection (iterative DFS over the small wait-for graph).
+    cycles: List[StaticCycle] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    for start in sorted(waits):
+        path: List[str] = []
+        on_path: Set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in on_path:
+                cycle = path[path.index(node):]
+                key = tuple(sorted(cycle))
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    entries = []
+                    for member in cycle:
+                        recv, _ = waits[member]
+                        entries.append({
+                            "proc": member,
+                            "tag": shape_repr(recv.tag),
+                            "site": recv.site,
+                        })
+                    cycles.append(StaticCycle(entries=entries))
+                return
+            if node not in waits:
+                return
+            path.append(node)
+            on_path.add(node)
+            for succ in sorted(waits[node][1]):
+                visit(succ)
+            path.pop()
+            on_path.discard(node)
+
+        visit(start)
+    return cycles
+
+
+# ----------------------------------------------------------------------
+# Order-stability classification
+# ----------------------------------------------------------------------
+
+@dataclass
+class Classification:
+    app: str
+    variant: str
+    label: str
+    reasons: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        why = "; ".join(self.reasons) if self.reasons else \
+            "paired tagged channels and collectives only"
+        return f"{self.app}/{self.variant}: {self.label} ({why})"
+
+
+def _site(op_or_site) -> str:
+    site = op_or_site.site if isinstance(op_or_site, ProtoOp) else op_or_site
+    return f"{site[0]}:{site[1]}"
+
+
+def pipelined_fanins(skeleton: Skeleton) -> List[List[ProtoOp]]:
+    """Runs of >= 2 distinct counted fan-ins with no barrier between.
+
+    A fan-in is a blocking receive inside a ``for`` loop whose tag does
+    not involve the loop variable (all senders race into one ordered
+    queue).  Collective-internal joins are rank-deterministic
+    reductions and are excluded; barriers reset the run.  Instances are
+    identified by call path, so three pipelined transpose calls count
+    as three fan-ins even though they share a source line.
+    """
+    send_tags = [op.tag for op in skeleton.send_ops()]
+    runs: List[List[ProtoOp]] = []
+    for trace in skeleton.procs:
+        if trace.daemon:
+            continue
+        current: Dict[Tuple, ProtoOp] = {}
+        for op in trace.ops:
+            if op.kind == "barrier":
+                if len(current) >= 2:
+                    runs.append(list(current.values()))
+                current = {}
+                continue
+            if not op.fan_in_candidate:
+                continue
+            if not any(edges_match(op.tag, tag) for tag in send_tags):
+                continue
+            current.setdefault(op.instance, op)
+        if len(current) >= 2:
+            runs.append(list(current.values()))
+    return runs
+
+
+def classify(skeleton: Skeleton) -> Classification:
+    """Label one app/variant ``stable | unstable | timing-sensitive``."""
+    reasons: List[str] = []
+
+    # --- timing-sensitive: the DAG itself depends on timing ----------
+    if skeleton.timing_dependent:
+        reasons.append("registered timing_dependent")
+    for trace in skeleton.procs:
+        for op in trace.ops:
+            if op.kind == "poll":
+                reasons.append(
+                    f"recv_nowait polling in {trace.name} at {_site(op)}")
+            elif op.kind == "sleep":
+                reasons.append(
+                    f"sleep timer in {trace.name} at {_site(op)}")
+        for site in trace.payload_loops:
+            reasons.append(
+                f"payload-dependent work loop in {trace.name} at "
+                f"{site[0]}:{site[1]}")
+    if reasons:
+        return Classification(skeleton.app, skeleton.variant,
+                              LABEL_TIMING, _dedup(reasons))
+
+    if skeleton.incomplete:
+        # Could not prove anything about the DAG: take the conservative
+        # bottom rung of the ladder.
+        notes = skeleton.notes or ["interpretation incomplete (widened)"]
+        return Classification(skeleton.app, skeleton.variant,
+                              LABEL_TIMING, list(notes))
+
+    # --- unstable: deterministic DAG, arrival-dependent orders -------
+    for trace in skeleton.procs:
+        for op in trace.deferred_sends:
+            reasons.append(
+                f"service {trace.name} defers message-derived sends "
+                f"(parked-request buffer) at {_site(op)}")
+        for op in trace.gated_sends:
+            reasons.append(
+                f"service {trace.name} gates sends on loop-carried "
+                f"state at {_site(op)}")
+    for run in pipelined_fanins(skeleton):
+        sites = ", ".join(_site(op) for op in run[:4])
+        reasons.append(
+            f"{len(run)} pipelined counted fan-ins with no barrier "
+            f"between ({sites})")
+    if reasons:
+        return Classification(skeleton.app, skeleton.variant,
+                              LABEL_UNSTABLE, _dedup(reasons))
+
+    return Classification(skeleton.app, skeleton.variant, LABEL_STABLE)
+
+
+def _dedup(reasons: Sequence[str]) -> List[str]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for reason in reasons:
+        if reason not in seen:
+            seen.add(reason)
+            out.append(reason)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Determinism taint
+# ----------------------------------------------------------------------
+
+@dataclass
+class TaintFlow:
+    proc: str
+    op_kind: str
+    sink: str
+    source: str
+    site: Tuple[str, int]
+
+    def message(self) -> str:
+        return (f"{self.source} flows into {self.op_kind} {self.sink} "
+                f"in {self.proc}")
+
+
+def find_taints(skeleton: Skeleton) -> List[TaintFlow]:
+    """Tainted values reaching communication sinks, whole-program."""
+    out: List[TaintFlow] = []
+    seen: Set[Tuple] = set()
+    for op in skeleton.all_ops():
+        for sink, taints in sorted(op.sink_taints.items()):
+            for source in sorted(taints):
+                key = (op.site, sink, source)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(TaintFlow(proc=op.proc, op_kind=op.kind,
+                                     sink=sink, source=source,
+                                     site=op.site))
+    return out

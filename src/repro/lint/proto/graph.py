@@ -1,0 +1,468 @@
+"""Abstract domain and static channel graph for the protocol analyzer.
+
+The interpreter (:mod:`repro.lint.proto.interp`) executes each SPMD
+process coroutine over the abstract domain defined here instead of the
+concrete one: every value is an :class:`AV` — a constant, the symbolic
+executing rank, a topology-relative peer category (my cluster leader,
+all leaders, my cluster's members), a heap :class:`Cell`, or ``TOP``.
+Each value carries the provenance the three analyses need:
+
+- ``taint`` — determinism-taint source descriptors (wall-clock,
+  unseeded RNG, set iteration) for the whole-program taint analysis;
+- ``msgd`` — derived from a received message (payload or source rank),
+  the raw material of the order-stability rules;
+- ``cells`` — heap cells the value was read from, so a send whose
+  destination came out of a parked-request buffer is distinguishable
+  from one answering the message in hand;
+- ``loopsyms`` — enclosing loop variables the value depends on, which
+  separates a counted fan-in (``recv(tag)`` loop-invariant) from a
+  per-peer paired receive (``recv((tag, q))``).
+
+Sends, receives, multicasts and spawns are recorded as :class:`ProtoOp`
+entries on a :class:`ProcTrace`; an app/variant's traces form a
+:class:`Skeleton` whose :class:`ProtoGraph` concretizes the symbolic
+destination categories against a real topology — the object the
+superset harness compares with observed traffic.
+
+Tag expressions reuse the shape conventions of
+:mod:`repro.lint.static` (``("const", v)`` / ``("tuple", ...)`` /
+``WILD``) so symbolic unification is shared with the AST linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..static import WILD, shape_repr, shapes_unify
+
+# ----------------------------------------------------------------------
+# Abstract values
+# ----------------------------------------------------------------------
+
+#: Destination categories a send/multicast target can concretize to.
+DST_CONST = "const"          # one fixed rank
+DST_SELF = "self"            # the executing rank itself
+DST_LEADER_OWN = "leader-own"    # leader of the executing rank's cluster
+DST_LEADERS = "leaders"      # some cluster leader (any cluster)
+DST_MEMBERS_OWN = "members-own"  # a member of the executing rank's cluster
+DST_ALL = "all"              # widened: any rank
+
+_EMPTY: FrozenSet = frozenset()
+
+
+class Cell:
+    """One abstract heap location: a container's contents or an object
+    attribute.  Reads return the join of everything ever written; writes
+    record *when* they happened (inside a service's message loop?) and
+    *what* flowed in (message-derived data?) — the two bits the deferred
+    service rule needs."""
+
+    __slots__ = ("label", "keys", "vals", "written_in_loop", "msg_written",
+                 "is_set")
+
+    def __init__(self, label: str = "", is_set: bool = False) -> None:
+        self.label = label
+        self.keys: Optional["AV"] = None
+        self.vals: Optional["AV"] = None
+        self.written_in_loop = False
+        self.msg_written = False
+        self.is_set = is_set
+
+    def write(self, value: "AV", in_loop: bool, key: Optional["AV"] = None
+              ) -> None:
+        self.vals = join(self.vals, value)
+        if key is not None:
+            self.keys = join(self.keys, key)
+        if in_loop:
+            self.written_in_loop = True
+            if value is not None and (value.msgd or
+                                      (key is not None and key.msgd)):
+                self.msg_written = True
+
+    def read(self) -> "AV":
+        base = self.vals if self.vals is not None else AV("top")
+        out = base.with_cell(self)
+        if self.is_set:
+            out = out.with_taint(f"set-iteration({self.label or 'set'})")
+        return out
+
+    def read_keys(self) -> "AV":
+        base = self.keys if self.keys is not None else AV("top")
+        return base.with_cell(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.label!r})"
+
+
+class AV:
+    """One abstract value.  Immutable by convention: the ``with_*``
+    helpers return modified copies so provenance never leaks backwards."""
+
+    __slots__ = ("kind", "const", "items", "payload", "taint", "msgd",
+                 "cells", "loopsyms", "opaque")
+
+    def __init__(self, kind: str, const: Any = None,
+                 items: Optional[Tuple["AV", ...]] = None,
+                 payload: Any = None,
+                 taint: FrozenSet[str] = _EMPTY, msgd: bool = False,
+                 cells: FrozenSet[Cell] = _EMPTY,
+                 loopsyms: FrozenSet[int] = _EMPTY,
+                 opaque: bool = False) -> None:
+        self.kind = kind
+        self.const = const
+        self.items = items
+        self.payload = payload
+        self.taint = taint
+        self.msgd = msgd
+        self.cells = cells
+        self.loopsyms = loopsyms
+        self.opaque = opaque
+
+    # -- provenance helpers -------------------------------------------
+    def _clone(self, **over: Any) -> "AV":
+        kw = dict(kind=self.kind, const=self.const, items=self.items,
+                  payload=self.payload, taint=self.taint, msgd=self.msgd,
+                  cells=self.cells, loopsyms=self.loopsyms,
+                  opaque=self.opaque)
+        kw.update(over)
+        return AV(**kw)
+
+    def with_taint(self, *sources: str) -> "AV":
+        return self._clone(taint=self.taint | frozenset(sources))
+
+    def with_msgd(self) -> "AV":
+        return self._clone(msgd=True)
+
+    def with_cell(self, cell: Cell) -> "AV":
+        return self._clone(cells=self.cells | {cell})
+
+    def with_loopsym(self, sym: int) -> "AV":
+        return self._clone(loopsyms=self.loopsyms | {sym})
+
+    def with_flags_of(self, *others: Optional["AV"]) -> "AV":
+        out = self
+        for other in others:
+            if other is None:
+                continue
+            out = out._clone(taint=out.taint | other.taint,
+                             msgd=out.msgd or other.msgd,
+                             cells=out.cells | other.cells,
+                             loopsyms=out.loopsyms | other.loopsyms,
+                             opaque=out.opaque or other.opaque)
+        return out
+
+    # -- queries ------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+    def truth(self) -> Optional[bool]:
+        """Concrete truthiness, or None when symbolic."""
+        if self.kind == "const":
+            try:
+                return bool(self.const)
+            except Exception:
+                return None
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "const":
+            return f"AV(const={self.const!r})"
+        return f"AV({self.kind})"
+
+
+def top(*flags_of: Optional[AV]) -> AV:
+    return AV("top").with_flags_of(*flags_of)
+
+
+def const(value: Any) -> AV:
+    return AV("const", const=value)
+
+
+def join(a: Optional[AV], b: Optional[AV]) -> Optional[AV]:
+    """Least-upper-bound of two abstract values (None is bottom)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    merged_flags = dict(taint=a.taint | b.taint, msgd=a.msgd or b.msgd,
+                        cells=a.cells | b.cells,
+                        loopsyms=a.loopsyms | b.loopsyms,
+                        opaque=a.opaque or b.opaque)
+    # None is absorbed: it carries no communication, and ``x = d.get(k)``
+    # / ``if x is None: x = make()`` idioms would otherwise widen to top.
+    a_none = a.kind == "const" and a.const is None
+    b_none = b.kind == "const" and b.const is None
+    if a_none and not b_none:
+        return b._clone(**merged_flags)
+    if b_none and not a_none:
+        return a._clone(**merged_flags)
+    if a.kind == b.kind:
+        if a.kind in ("const", "strprefix"):
+            if a.const is b.const or _const_eq(a.const, b.const):
+                return a._clone(**merged_flags)
+            return AV("top", **merged_flags)
+        if a.kind == "tuple" and a.items is not None and b.items is not None \
+                and len(a.items) == len(b.items):
+            items = tuple(join(x, y) for x, y in zip(a.items, b.items))
+            return AV("tuple", items=items, **merged_flags)
+        if a.kind in ("func", "obj", "cell", "class") \
+                and a.payload is not b.payload:
+            return AV("top", **merged_flags)
+        return a._clone(**merged_flags)
+    return AV("top", **merged_flags)
+
+
+def _const_eq(x: Any, y: Any) -> bool:
+    try:
+        return bool(x == y)
+    except Exception:
+        return False
+
+
+def tag_shape_of(av: Optional[AV]) -> Tuple:
+    """Fold an abstract tag value into a :mod:`repro.lint.static` shape."""
+    if av is None:
+        return WILD
+    if av.kind == "const":
+        return ("const", av.const)
+    if av.kind == "strprefix":
+        return ("prefix", av.const or "")
+    if av.kind == "tuple" and av.items is not None:
+        return ("tuple", tuple(tag_shape_of(item) for item in av.items))
+    return WILD
+
+
+def dst_category(av: Optional[AV]) -> Tuple[str, Optional[int]]:
+    """Summarize an abstract destination into a concretizable category."""
+    if av is None:
+        return (DST_ALL, None)
+    if av.kind == "const" and isinstance(av.const, int) \
+            and not isinstance(av.const, bool):
+        return (DST_CONST, av.const)
+    if av.kind == "rank":
+        return (DST_SELF, None)
+    if av.kind == "leader-own":
+        return (DST_LEADER_OWN, None)
+    if av.kind == "leader":
+        return (DST_LEADERS, None)
+    if av.kind == "member-own":
+        return (DST_MEMBERS_OWN, None)
+    if av.kind == "cell" and av.payload is not None:
+        inner = av.payload.vals
+        if inner is not None:
+            return dst_category(inner)
+    return (DST_ALL, None)
+
+
+# ----------------------------------------------------------------------
+# Recorded operations and traces
+# ----------------------------------------------------------------------
+
+@dataclass
+class ProtoOp:
+    """One abstract communication operation at a source site."""
+
+    kind: str                       # send|recv|mcast|poll|sleep|spawn|barrier
+    proc: str
+    site: Tuple[str, int]           # (file, line)
+    ctxid: Tuple[Tuple[str, int], ...] = ()   # call-path instance id
+    dst: Tuple[str, Optional[int]] = (DST_ALL, None)
+    tag: Tuple = WILD
+    mandatory: bool = False
+    conditional: bool = False
+    in_for: bool = False            # immediately inside a counted for-loop
+    loop_tag_dep: bool = False      # tag depends on that loop's variable
+    collective: Optional[str] = None  # barrier|bcast|reduction
+    rpc: bool = False               # part of an rpc round-trip
+    sink_taints: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    detail: str = ""
+
+    @property
+    def instance(self) -> Tuple:
+        return (self.site, self.ctxid)
+
+    @property
+    def fan_in_candidate(self) -> bool:
+        return (self.kind == "recv" and self.in_for and not self.loop_tag_dep
+                and self.collective is None and not self.rpc)
+
+    def where(self) -> str:
+        return f"{self.site[0]}:{self.site[1]}"
+
+
+@dataclass
+class ProcTrace:
+    """Abstract trace of one process coroutine (main or daemon)."""
+
+    name: str
+    daemon: bool = False
+    ops: List[ProtoOp] = field(default_factory=list)
+    incomplete: bool = False
+    #: sites of while-loops whose exit depends on received payloads
+    payload_loops: List[Tuple[str, int]] = field(default_factory=list)
+    #: send sites whose dst/tag came out of a message-fed heap cell
+    deferred_sends: List[ProtoOp] = field(default_factory=list)
+    #: send sites occurrence-gated on loop-carried service state
+    gated_sends: List[ProtoOp] = field(default_factory=list)
+
+    def mandatory_ops(self) -> List[ProtoOp]:
+        return [op for op in self.ops if op.mandatory]
+
+
+@dataclass
+class Skeleton:
+    """The full static communication skeleton of one app/variant."""
+
+    app: str
+    variant: str
+    procs: List[ProcTrace] = field(default_factory=list)
+    timing_dependent: bool = False      # registry flag
+    incomplete: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def all_ops(self) -> Iterable[ProtoOp]:
+        for proc in self.procs:
+            for op in proc.ops:
+                yield op
+
+    def send_ops(self) -> List[ProtoOp]:
+        return [op for op in self.all_ops() if op.kind in ("send", "mcast")]
+
+    def recv_ops(self) -> List[ProtoOp]:
+        return [op for op in self.all_ops() if op.kind == "recv"]
+
+    def graph(self) -> "ProtoGraph":
+        return ProtoGraph.from_skeleton(self)
+
+
+# ----------------------------------------------------------------------
+# The channel graph
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChannelEdge:
+    """One symbolic send/multicast edge of the channel graph."""
+
+    proc: str
+    kind: str                       # send|mcast
+    dst: Tuple[str, Optional[int]]
+    tag: Tuple
+    site: Tuple[str, int]
+    conditional: bool = False
+    collective: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        cat, arg = self.dst
+        return {
+            "proc": self.proc,
+            "kind": self.kind,
+            "dst": cat if arg is None else f"{cat}:{arg}",
+            "tag": shape_repr(self.tag),
+            "site": f"{self.site[0]}:{self.site[1]}",
+            "conditional": self.conditional,
+            "collective": self.collective,
+        }
+
+
+class ProtoGraph:
+    """Static channel graph: symbolic edges plus concretization."""
+
+    def __init__(self, app: str, variant: str,
+                 edges: Optional[List[ChannelEdge]] = None,
+                 incomplete: bool = False) -> None:
+        self.app = app
+        self.variant = variant
+        self.edges: List[ChannelEdge] = edges or []
+        self.incomplete = incomplete
+
+    @classmethod
+    def from_skeleton(cls, skeleton: Skeleton) -> "ProtoGraph":
+        graph = cls(skeleton.app, skeleton.variant,
+                    incomplete=skeleton.incomplete)
+        seen: Set[Tuple] = set()
+        for proc in skeleton.procs:
+            for op in proc.ops:
+                if op.kind not in ("send", "mcast"):
+                    continue
+                key = (proc.name, op.kind, op.dst, op.tag, op.site)
+                if key in seen:
+                    continue
+                seen.add(key)
+                graph.edges.append(ChannelEdge(
+                    proc=proc.name, kind=op.kind, dst=op.dst, tag=op.tag,
+                    site=op.site, conditional=op.conditional,
+                    collective=op.collective))
+        if skeleton.incomplete:
+            # Soundness fallback: anything the interpreter could not
+            # follow may talk to anyone.
+            graph.edges.append(ChannelEdge(
+                proc="*", kind="send", dst=(DST_ALL, None), tag=WILD,
+                site=("<widened>", 0)))
+        return graph
+
+    # -- concretization ------------------------------------------------
+    def concretize(self, topology) -> Set[Tuple[int, int]]:
+        """All (src, dst) rank pairs the symbolic edges permit on
+        ``topology``.  Sends execute on every rank (SPMD), so the source
+        side is always the full rank set."""
+        pairs: Set[Tuple[int, int]] = set()
+        ranks = list(topology.ranks())
+        leaders = {topology.cluster_leader(c) for c in topology.clusters()}
+        for edge in self.edges:
+            cat, arg = edge.dst
+            for src in ranks:
+                if cat == DST_CONST:
+                    dsts = [arg] if arg is not None and arg in ranks else []
+                elif cat == DST_SELF:
+                    dsts = [src]
+                elif cat == DST_LEADER_OWN:
+                    dsts = [topology.cluster_leader(topology.cluster_of(src))]
+                elif cat == DST_LEADERS:
+                    dsts = sorted(leaders)
+                elif cat == DST_MEMBERS_OWN:
+                    dsts = list(
+                        topology.cluster_members(topology.cluster_of(src)))
+                else:
+                    dsts = ranks
+                for dst in dsts:
+                    pairs.add((src, dst))
+        return pairs
+
+    def cluster_pairs(self, topology) -> Set[Tuple[int, int]]:
+        """Concretized pairs folded to (src_cluster, dst_cluster)."""
+        return {(topology.cluster_of(s), topology.cluster_of(d))
+                for s, d in self.concretize(topology)}
+
+    # -- exports -------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "incomplete": self.incomplete,
+            "edges": [edge.as_dict() for edge in self.edges],
+        }
+
+    def to_dot(self) -> str:
+        name = f"{self.app}_{self.variant}".replace("-", "_")
+        lines = [f'digraph "{name}" {{',
+                 '  rankdir=LR;',
+                 '  node [shape=box, fontsize=10];']
+        procs = sorted({edge.proc for edge in self.edges})
+        for proc in procs:
+            lines.append(f'  "{proc}";')
+        for edge in self.edges:
+            cat, arg = edge.dst
+            dst = cat if arg is None else f"{cat}:{arg}"
+            style = ' style=dashed' if edge.conditional else ''
+            label = f"{shape_repr(edge.tag)} → {dst}"
+            lines.append(f'  "{edge.proc}" -> "{dst}" '
+                         f'[label="{label}"{style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def edges_match(recv_tag: Tuple, send_tag: Tuple) -> bool:
+    """Symbolic unification of a receive tag against a send tag."""
+    return shapes_unify(recv_tag, send_tag)

@@ -80,7 +80,22 @@ RUNTIME_RULES = (
          "send covers", "runtime"),
 )
 
-RULES: Dict[str, Rule] = {r.id: r for r in STATIC_RULES + RUNTIME_RULES}
+#: Whole-program rules, checked by :mod:`repro.lint.proto` — the
+#: interprocedural abstract interpreter over the app sources.
+PROTO_RULES = (
+    Rule("proto-deadlock", ERROR,
+         "mandatory blocking receives form a static wait-for cycle",
+         "proto"),
+    Rule("proto-unmatched", WARNING,
+         "a receive's symbolic tag unifies with no send site in the "
+         "app's static channel graph", "proto"),
+    Rule("proto-taint", ERROR,
+         "a wall-clock/unseeded-RNG/hash-order value flows into a "
+         "communication sink (whole-program)", "proto"),
+)
+
+RULES: Dict[str, Rule] = {
+    r.id: r for r in STATIC_RULES + RUNTIME_RULES + PROTO_RULES}
 
 
 @dataclass(frozen=True)

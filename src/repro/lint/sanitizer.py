@@ -218,6 +218,13 @@ class Sanitizer:
             if ev.detail:
                 key = (ev.rank, ev.tag)
                 self._consumed[key] = self._consumed.get(key, 0) + 1
+        elif kind == "send":
+            # Application-level channel history.  The routed send events
+            # already record senders, but with the reliable transport a
+            # WAN message travels under a rewritten ``_rt`` wire tag —
+            # the wait-for edges the deadlock analysis needs live here,
+            # on the operation the process actually issued.
+            self._senders.setdefault((ev.dst, ev.tag), set()).add(ev.rank)
         elif kind == "multicast":
             # Multicast bypasses the routed send/deliver probes; track the
             # sender for wait-for edges (leak accounting reads the actual

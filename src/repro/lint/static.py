@@ -78,8 +78,11 @@ WILD = ("?",)
 def tag_shape(node: ast.AST) -> Any:
     """Fold a tag expression into a matchable shape.
 
-    Constants keep their value, tuples recurse, anything dynamic becomes
-    the :data:`WILD` marker (which unifies with everything).
+    Constants keep their value, tuples recurse.  Formatted strings
+    (f-strings and ``"...".format(...)``) keep their constant *prefix*
+    — ``f"ack-{rank}"`` becomes ``("prefix", "ack-")`` and only unifies
+    with strings that start with ``"ack-"``.  Anything else dynamic
+    becomes the :data:`WILD` marker (which unifies with everything).
     """
     if isinstance(node, ast.Constant):
         return ("const", node.value)
@@ -88,12 +91,58 @@ def tag_shape(node: ast.AST) -> Any:
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub) \
             and isinstance(node.operand, ast.Constant):
         return ("const", -node.operand.value)
+    if isinstance(node, ast.JoinedStr):
+        return _joined_shape(node)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr == "format" \
+            and isinstance(node.func.value, ast.Constant) \
+            and isinstance(node.func.value.value, str):
+        return _format_shape(node.func.value.value)
     return WILD
+
+
+def _joined_shape(node: ast.JoinedStr) -> Any:
+    """Shape of an f-string: the constant prefix before the first hole."""
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            return ("prefix", "".join(parts))
+    return ("const", "".join(parts))
+
+
+def _format_shape(template: str) -> Any:
+    """Shape of a ``str.format`` template: prefix up to the first field.
+
+    ``{{``/``}}`` escapes are literal braces; a bare ``{`` opens the
+    first replacement field and ends the constant prefix.
+    """
+    parts = []
+    i = 0
+    while i < len(template):
+        ch = template[i]
+        if ch in "{}" and template[i + 1:i + 2] == ch:
+            parts.append(ch)
+            i += 2
+            continue
+        if ch == "{":
+            return ("prefix", "".join(parts))
+        parts.append(ch)
+        i += 1
+    return ("const", "".join(parts))
 
 
 def shapes_unify(a: Any, b: Any) -> bool:
     if a is WILD or b is WILD:
         return True
+    if a[0] == "prefix" or b[0] == "prefix":
+        if a[0] == b[0]:
+            return a[1].startswith(b[1]) or b[1].startswith(a[1])
+        prefix, other = (a[1], b) if a[0] == "prefix" else (b[1], a)
+        if other[0] == "const":
+            return isinstance(other[1], str) and other[1].startswith(prefix)
+        return False        # a formatted string is never a tuple
     if a[0] != b[0]:
         return False
     if a[0] == "const":
@@ -108,12 +157,16 @@ def shape_repr(shape: Any) -> str:
         return "*"
     if shape[0] == "const":
         return repr(shape[1])
+    if shape[0] == "prefix":
+        return repr(shape[1]) + "*"
     return "(" + ", ".join(shape_repr(e) for e in shape[1]) + ")"
 
 
 def _is_wild_only(shape: Any) -> bool:
     if shape is WILD:
         return True
+    if shape[0] == "prefix":
+        return shape[1] == ""
     if shape[0] == "tuple":
         return all(_is_wild_only(e) for e in shape[1])
     return False

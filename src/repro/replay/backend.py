@@ -114,6 +114,8 @@ class ReplayBackend:
         self.timings: Dict[str, float] = {"record_s": recording.wall_time}
         self._evaluator: Optional[Evaluator] = None
         self._probe: Optional[ProbeReport] = None
+        self._static_hint: Optional[str] = None
+        self._static_hint_known = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -132,6 +134,42 @@ class ReplayBackend:
         if self._evaluator is None:
             self._evaluator = Evaluator(self.recording.dag)
         return self._evaluator
+
+    @property
+    def static_hint(self) -> Optional[str]:
+        """Order-stability label from the static protocol analyzer.
+
+        The recording itself carries the pre-recording hint when
+        :func:`~repro.whatif.record.record_app` computed one; otherwise
+        it is looked up here (memoized).  Advisory only — the runtime
+        probe remains the arbiter of the fallback ladder — but reports
+        carry it so hint/probe disagreements are visible.
+        """
+        if self._static_hint_known:
+            return self._static_hint
+        hint = getattr(self.recording, "static_label", None)
+        if hint is None:
+            try:
+                from ..lint.proto.report import order_stability_label
+                hint = order_stability_label(self.recording.app,
+                                             self.recording.variant)
+            except Exception:
+                hint = None
+        self._static_hint = hint
+        self._static_hint_known = True
+        return hint
+
+    def hint_matches_probe(self) -> Optional[bool]:
+        """Did the measured probe agree with the static hint?
+
+        ``None`` when no probe has run yet, no hint is available, or
+        the hint is ``timing-sensitive`` (the ladder short-circuits to
+        simulation before probing those).
+        """
+        hint = self.static_hint
+        if self._probe is None or hint not in ("stable", "unstable"):
+            return None
+        return self._probe.stable == (hint == "stable")
 
     def topology_for(self, bandwidth_mbyte_s: float,
                      latency_ms: float) -> Topology:
@@ -264,6 +302,7 @@ def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
                   from_cache: bool = False,
                   probe_summary: Optional[str] = None,
                   validation_summary: Optional[str] = None,
+                  static_hint: Optional[str] = None,
                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Build one ``replay`` report record (JSON-lines, obs substrate).
 
@@ -289,4 +328,6 @@ def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
         record["replay"]["probe"] = probe_summary
     if validation_summary is not None:
         record["replay"]["validation"] = validation_summary
+    if static_hint is not None:
+        record["replay"]["static_hint"] = static_hint
     return record

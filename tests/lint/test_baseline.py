@@ -1,0 +1,98 @@
+"""Lint baselines: record known findings, fail only on new ones."""
+
+import json
+import textwrap
+
+from repro.lint import filter_new, lint_source, load_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+
+DIRTY = """\
+import time
+
+def body(ctx):
+    start = time.time()
+    yield ctx.compute(1.0)
+"""
+
+
+def findings():
+    return lint_source(textwrap.dedent(DIRTY), "dirty.py")
+
+
+# ----------------------------------------------------------------------
+# the module API
+# ----------------------------------------------------------------------
+def test_roundtrip_filters_known_findings(tmp_path):
+    found = findings()
+    assert found
+    path = str(tmp_path / "base.json")
+    write_baseline(path, found)
+    baseline = load_baseline(path)
+    assert filter_new(found, baseline) == []
+
+
+def test_new_findings_survive_the_filter(tmp_path):
+    found = findings()
+    path = str(tmp_path / "base.json")
+    write_baseline(path, found[:0])        # empty baseline
+    assert filter_new(found, load_baseline(path)) == found
+
+
+def test_counts_absorb_only_that_many_duplicates(tmp_path):
+    found = findings()
+    path = str(tmp_path / "base.json")
+    write_baseline(path, found)
+    doubled = found + found
+    new = filter_new(doubled, load_baseline(path))
+    assert len(new) == len(found)
+
+
+def test_keying_ignores_line_numbers(tmp_path):
+    # The same finding shifted two lines down is still "known".
+    path = str(tmp_path / "base.json")
+    write_baseline(path, findings())
+    shifted = lint_source("\n\n" + textwrap.dedent(DIRTY), "dirty.py")
+    assert filter_new(shifted, load_baseline(path)) == []
+
+
+def test_bad_baseline_shape_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    try:
+        load_baseline(str(path))
+    except ValueError as err:
+        assert "version" in str(err)
+    else:
+        raise AssertionError("expected ValueError")
+
+
+# ----------------------------------------------------------------------
+# the CLI flags
+# ----------------------------------------------------------------------
+def test_cli_write_then_check_is_clean(tmp_path, capsys):
+    src = tmp_path / "dirty.py"
+    src.write_text(DIRTY)
+    base = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(base), str(src)]) == 0
+    assert base.exists()
+    # With the baseline, the recorded error no longer fails the run.
+    assert lint_main(["--baseline", str(base), str(src)]) == 0
+    err = capsys.readouterr().err
+    assert "after baseline" in err
+
+
+def test_cli_new_finding_still_fails_with_baseline(tmp_path):
+    src = tmp_path / "dirty.py"
+    src.write_text(DIRTY)
+    base = tmp_path / "base.json"
+    assert lint_main(["--write-baseline", str(base), str(src)]) == 0
+    src.write_text(DIRTY + "\nimport random\n\ndef more(ctx):\n"
+                   "    yield ctx.compute(random.random())\n")
+    assert lint_main(["--baseline", str(base), str(src)]) == 1
+
+
+def test_cli_missing_baseline_is_a_usage_error(tmp_path):
+    src = tmp_path / "dirty.py"
+    src.write_text(DIRTY)
+    assert lint_main(["--baseline", str(tmp_path / "nope.json"),
+                      str(src)]) == 2

@@ -1,0 +1,37 @@
+"""Runtime cross-validation: static channel graph ⊇ observed traffic.
+
+The analyzer's soundness contract, asserted in CI: on a clean run of
+every registered app/variant, every (src, dst) send pair the probe bus
+observes — and every (src cluster, dst cluster) pair TrafficStats
+accumulates — must be admitted by the static graph's concretization.
+Widening may over-approximate; it must never under-approximate.
+"""
+
+import pytest
+
+from repro.lint.proto import verify_superset
+from repro.lint.proto.report import default_modset
+from repro.network.topology import das_topology
+
+APPS = default_modset().apps()
+
+
+def topo():
+    return das_topology(clusters=2, cluster_size=2)
+
+
+@pytest.mark.parametrize("app,variant", APPS,
+                         ids=[f"{a}-{v}" for a, v in APPS])
+def test_static_graph_covers_observed_pairs(app, variant):
+    report = verify_superset(app, variant, topo(), scale="bench", seed=0)
+    assert report["ok"], report
+    # The run really communicated; an empty observation would make the
+    # superset trivially true and the test meaningless.
+    assert report["observed_pairs"] > 0
+
+
+def test_registry_has_the_full_app_matrix():
+    assert len(APPS) == 12
+    assert {a for a, _ in APPS} == \
+        {"asp", "awari", "barnes", "fft", "tsp", "water"}
+    assert all(v in ("optimized", "unoptimized") for _, v in APPS)

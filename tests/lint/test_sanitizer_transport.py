@@ -1,0 +1,114 @@
+"""Sanitizer deadlock analysis with the reliable transport active.
+
+The transport's wire traffic (``_rt`` data frames, ``_rt-ack`` acks,
+retransmissions under loss) adds sender history the wait-for analysis
+must not mistake for application edges: a retransmit edge must never
+produce a phantom cycle, and a *real* application deadlock must still
+be reported over application channels only.
+"""
+
+import pytest
+
+from repro.apps import run_app
+from repro.faults import FaultPlan
+from repro.lint import DeadlockReport
+from repro.network import das_topology
+from repro.runtime.machine import DeadlockError, Machine
+
+TOPO_KW = dict(clusters=2, cluster_size=2, wan_latency_ms=10.0,
+               wan_bandwidth_mbyte_s=1.0)
+ROUNDS = 8
+
+_TRANSPORT_HEADS = ("_rt", "_rt-ack")
+
+
+def _is_transport_tag(tag):
+    return isinstance(tag, tuple) and bool(tag) and tag[0] in _TRANSPORT_HEADS
+
+
+def topo():
+    return das_topology(**TOPO_KW)
+
+
+def cross_wan_pingpong_then_deadlock(ctx):
+    """Reliable cross-WAN rounds, then one recv nobody ever serves.
+
+    Ranks pair up across the cluster boundary (0<->2, 1<->3 on a 2x2
+    machine) so every application message rides the transport; the final
+    unserved receive leaves each pair in a two-rank wait-for cycle.
+    """
+    n = ctx.num_ranks
+    peer = (ctx.rank + n // 2) % n
+    for round_no in range(ROUNDS):
+        yield ctx.send(peer, 2048, ("tok", round_no, peer))
+        yield ctx.recv(("tok", round_no, ctx.rank))
+    # Re-receive on the last round's channel: it has sender history (so
+    # the wait-for analysis can draw edges) but is never sent again.
+    yield ctx.recv(("tok", ROUNDS - 1, ctx.rank))
+
+
+def spawn_all(machine, body):
+    for rank in machine.topology.ranks():
+        machine.spawn(rank, body)
+
+
+def run_deadlock(plan):
+    machine = Machine(topo(), seed=0, sanitize=True, faults=plan)
+    spawn_all(machine, cross_wan_pingpong_then_deadlock)
+    with pytest.raises(DeadlockError):
+        machine.run()
+    return machine
+
+
+def assert_cycles_are_app_only(report):
+    assert isinstance(report, DeadlockReport)
+    assert report.cycles, "the real deadlock must be reported"
+    # Every cycle member is blocked on an application channel; the
+    # transport's wire tags never appear.
+    for tag in report.tags_in_cycles():
+        assert not _is_transport_tag(tag), \
+            f"transport tag {tag!r} leaked into a wait-for cycle"
+        assert tag[0] == "tok"
+    for entry in report.blocked:
+        assert not _is_transport_tag(entry["tag"])
+
+
+def test_transport_deadlock_cycle_reports_app_channels_only():
+    # Clean links: the transport still wraps every WAN message (acks,
+    # in-order release), and the cycle report stays purely application.
+    machine = run_deadlock(FaultPlan())
+    assert machine.stats.acks > 0            # transport really was active
+    report = machine.sanitizer.deadlock_report
+    assert_cycles_are_app_only(report)
+    assert report.ranks_in_cycles() == {0, 1, 2, 3}
+    assert [f for f in machine.sanitizer.findings
+            if f.rule == "deadlock-cycle"]
+
+
+def test_retransmit_edges_do_not_fabricate_phantom_cycles():
+    # Lossy links: retransmissions add _rt sender history before the
+    # deadlock hits; the wait-for graph must still name only the real
+    # application cycle and raise no transport-channel findings.
+    machine = run_deadlock(FaultPlan.wan_loss(0.2))
+    assert machine.stats.retransmits > 0     # loss actually exercised
+    report = machine.sanitizer.deadlock_report
+    assert_cycles_are_app_only(report)
+    assert report.ranks_in_cycles() == {0, 1, 2, 3}
+    bad = [f for f in machine.sanitizer.findings
+           if f.rule in ("fifo-violation", "phantom-drop",
+                         "deliver-without-send")]
+    assert not bad, [f.render() for f in bad]
+
+
+def test_one_percent_loss_run_keeps_sanitizer_clean():
+    # Regression: a full app under 1% WAN loss with the sanitizer
+    # attached completes with the same answers and zero findings —
+    # retransmissions neither deadlock nor trip a protocol invariant.
+    clean = run_app("water", "unoptimized", topo(), max_events=5_000_000)
+    lossy = run_app("water", "unoptimized", topo(),
+                    faults=FaultPlan.wan_loss(0.01), sanitize=True,
+                    max_events=5_000_000)
+    assert lossy.results == clean.results
+    sanitizer = lossy.machine.sanitizer
+    assert sanitizer.deadlock_report is None
+    assert [f.render() for f in sanitizer.findings] == []

@@ -1,0 +1,103 @@
+"""Tag-shape prefixes: f-string / str.format channel matching.
+
+A formatted tag like ``f"ack-{rank}"`` used to fold to the wildcard,
+so ``recv-unmatched`` could neither match it precisely nor report it;
+now the constant prefix survives and unifies only with strings that
+start with it.
+"""
+
+import ast
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.static import (WILD, _is_wild_only, shape_repr,
+                               shapes_unify, tag_shape)
+
+
+def shape_of(expr):
+    return tag_shape(ast.parse(expr, mode="eval").body)
+
+
+def findings_for(src, rule):
+    return [f for f in lint_source(textwrap.dedent(src), "snippet.py")
+            if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# shape folding
+# ----------------------------------------------------------------------
+def test_fstring_keeps_constant_prefix():
+    assert shape_of('f"ack-{rank}"') == ("prefix", "ack-")
+    assert shape_of('f"{rank}-ack"') == ("prefix", "")
+    assert shape_of('f"a-{x}-b-{y}"') == ("prefix", "a-")
+
+
+def test_fstring_without_holes_is_const():
+    assert shape_of('f"plain"') == ("const", "plain")
+
+
+def test_format_call_keeps_prefix_and_unescapes_braces():
+    assert shape_of('"req-{}".format(i)') == ("prefix", "req-")
+    assert shape_of('"{{literal}}-{}".format(i)') == \
+        ("prefix", "{literal}-")
+    assert shape_of('"no fields".format()') == ("const", "no fields")
+
+
+def test_dynamic_receiver_format_is_still_wild():
+    # Only a *constant* template keeps its prefix.
+    assert shape_of('template.format(i)') is WILD
+
+
+# ----------------------------------------------------------------------
+# unification
+# ----------------------------------------------------------------------
+def test_prefix_unifies_with_matching_const_only():
+    prefix = ("prefix", "ack-")
+    assert shapes_unify(prefix, ("const", "ack-3"))
+    assert shapes_unify(("const", "ack-"), prefix)
+    assert not shapes_unify(prefix, ("const", "req-3"))
+    assert not shapes_unify(prefix, ("const", 7))
+    assert not shapes_unify(prefix, ("tuple", (("const", "ack-"),)))
+
+
+def test_prefix_pairs_unify_when_one_extends_the_other():
+    assert shapes_unify(("prefix", "ack-"), ("prefix", "ack-left-"))
+    assert not shapes_unify(("prefix", "ack-"), ("prefix", "req-"))
+
+
+def test_empty_prefix_is_wild_like():
+    assert _is_wild_only(("prefix", ""))
+    assert not _is_wild_only(("prefix", "ack-"))
+    assert shape_repr(("prefix", "ack-")) == "'ack-'*"
+
+
+# ----------------------------------------------------------------------
+# recv-unmatched end to end
+# ----------------------------------------------------------------------
+def test_fstring_recv_matched_by_prefixed_send_is_clean():
+    hits = findings_for("""
+        def body(ctx):
+            yield ctx.send(1, 64, "ack-3")
+            msg = yield ctx.recv(f"ack-{ctx.rank}")
+    """, "recv-unmatched")
+    assert hits == [], [f.render() for f in hits]
+
+
+def test_fstring_recv_with_no_matching_send_is_reported():
+    hits = findings_for("""
+        def body(ctx):
+            yield ctx.send(1, 64, "req-3")
+            msg = yield ctx.recv(f"ack-{ctx.rank}")
+    """, "recv-unmatched")
+    assert len(hits) == 1
+    assert "'ack-'*" in hits[0].message
+
+
+def test_fully_dynamic_fstring_recv_stays_unreported():
+    # An empty prefix carries no channel information: like the wildcard,
+    # it neither matches nor warns.
+    hits = findings_for("""
+        def body(ctx):
+            msg = yield ctx.recv(f"{ctx.rank}")
+    """, "recv-unmatched")
+    assert hits == []
