@@ -21,11 +21,18 @@ Three orthogonal accelerators (all off by default):
     :mod:`repro.replay`) and price the whole grid in one numpy pass —
     another order of magnitude over the predict path.  The fallback
     ladder is automatic, one rung per failure mode: DAGs whose frozen
-    contention orders drift at the grid corners (the probe) downgrade
-    to the per-point predict evaluator; timing-sensitive recordings,
-    active fault plans, and corner-validation failures fall all the way
-    back to full simulation.  The four grid-corner points of a replayed
-    grid are always the *simulated* ground truth (they were computed for
+    contention orders drift at the grid corners (the probe) try the
+    **vectorized-adaptive** rung first — a fixed-point engine that
+    re-sorts every contended queue per grid point (see
+    :mod:`repro.replay.adaptive`) and keeps the grid batched when its
+    corner convergence check passes (fft); programs whose iteration
+    does not converge (water's deep value feedback) downgrade to the
+    per-point predict evaluator, and individual unconverged points of
+    an otherwise-adaptive grid downgrade the same way, point by point;
+    timing-sensitive recordings, active fault plans, and
+    corner-validation failures fall all the way back to full
+    simulation.  The four grid-corner points of a replayed grid are
+    always the *simulated* ground truth (they were computed for
     validation anyway), so spot-checking a replayed grid against a full
     sweep at the corners compares identical floats.
 
@@ -86,11 +93,17 @@ class SpeedupGrid:
     #: predicted grid (or explaining why prediction fell back), if any.
     validation: Optional[object] = None
     #: the rung of the backend ladder that actually produced the points:
-    #: "simulate", "predict", or "replay".
+    #: "simulate", "predict", "vectorized-adaptive", or "replay".
     backend: str = "simulate"
     #: the :class:`repro.replay.backend.ProbeReport` measured while
     #: deciding a ``backend="replay"`` sweep, if one was run.
     replay: Optional[object] = None
+    #: the :class:`repro.replay.backend.ConvergenceReport` measured for
+    #: a probe-unstable program, if the adaptive rung was tried.
+    convergence: Optional[object] = None
+    #: (bw, lat) points of a "vectorized-adaptive" grid that did not
+    #: converge and were re-priced by the interpreted evaluator.
+    downgraded_points: List[Tuple[float, float]] = field(default_factory=list)
 
     def series(self, latency_ms: float) -> List[GridPoint]:
         """One Figure-3 curve: points of a latency series, by bandwidth."""
@@ -115,13 +128,16 @@ class _ReplayDecision:
     """Memoized outcome of the replay fallback ladder for one app.
 
     ``mode`` is the rung that will produce the grid ("replay",
-    "predict", or "simulate"); ``backend`` the
+    "vectorized-adaptive", "predict", or "simulate"); ``backend`` the
     :class:`~repro.replay.backend.ReplayBackend` (None when faults
     short-circuited before recording); ``predict_fn`` the per-point
-    evaluator closure for the "predict" rung; ``report`` the
-    ground-truth :class:`~repro.whatif.validate.ValidationReport`;
-    ``probe`` the frozen-order :class:`~repro.replay.backend.
-    ProbeReport` when one was measured.
+    evaluator closure — the grid producer on the "predict" rung, the
+    per-point downgrade target for unconverged points on the
+    "vectorized-adaptive" rung; ``report`` the ground-truth
+    :class:`~repro.whatif.validate.ValidationReport`; ``probe`` the
+    frozen-order :class:`~repro.replay.backend.ProbeReport` when one
+    was measured; ``convergence`` the adaptive-rung
+    :class:`~repro.replay.backend.ConvergenceReport` when one was run.
     """
 
     mode: str
@@ -129,6 +145,7 @@ class _ReplayDecision:
     predict_fn: Optional[object]
     report: Optional[object]
     probe: Optional[object]
+    convergence: Optional[object] = None
 
 
 def point_key(app: str, variant: str, scale: str, seed: int,
@@ -334,7 +351,8 @@ class Sweeper:
         missing — asking for the vectorized backend without its one
         dependency is a setup error, not a fallback condition.
         """
-        from ..replay.backend import ReplayBackend, _ProgramEvaluator
+        from ..replay.backend import (ReplayBackend, _AdaptiveEvaluator,
+                                      _ProgramEvaluator)
         from ..replay.compile import CompileError
         from ..whatif.validate import ValidationReport, corner_points, validate
 
@@ -398,20 +416,42 @@ class Sweeper:
             mode = "simulate" if report.fallback else "replay"
             return decide(_ReplayDecision(mode, backend, None, report, probe))
 
-        # Order-unstable program: downgrade to the interpreted per-point
-        # evaluator, which re-resolves contention at every grid point.
+        # Order-unstable program: try the vectorized-adaptive rung
+        # before giving up the batched grid — the fixed-point engine
+        # re-sorts every contended queue per grid point and proves
+        # itself at the corners first.
         evaluator = backend.evaluator
+        predict_fn = lambda bw, lat: evaluator.evaluate(topology_for(bw, lat))
+        convergence = backend.convergence_check()
+        if convergence.converged:
+            # Ground-truth corner validation of the *adaptive engine*
+            # itself, sharing validate() verbatim with the other rungs.
+            report = validate(
+                recording, baseline_runtime=baseline, simulate=sim,
+                points=corners, tolerance_pp=self.tolerance_pp,
+                evaluator=_AdaptiveEvaluator(backend.prepare_adaptive()),
+                topology_for=topology_for)
+            # A converged engine that fails ground truth means the
+            # recording itself is wrong at the corners — the evaluator
+            # prices the same schedule, so the predict rung would fail
+            # identically; go straight to simulation.
+            mode = "simulate" if report.fallback else "vectorized-adaptive"
+            return decide(_ReplayDecision(
+                mode, backend, None if report.fallback else predict_fn,
+                report, probe, convergence))
+
+        # Unconverged at the corners (deep value feedback like water's
+        # daemon scheduling): downgrade to the interpreted per-point
+        # evaluator, which re-resolves contention at every grid point.
         report = validate(
             recording, baseline_runtime=baseline, simulate=sim,
             points=corners, tolerance_pp=self.tolerance_pp,
             evaluator=evaluator, topology_for=topology_for)
         if report.fallback:
-            return decide(
-                _ReplayDecision("simulate", backend, None, report, probe))
-        return decide(_ReplayDecision(
-            "predict", backend,
-            lambda bw, lat: evaluator.evaluate(topology_for(bw, lat)),
-            report, probe))
+            return decide(_ReplayDecision("simulate", backend, None, report,
+                                          probe, convergence))
+        return decide(_ReplayDecision("predict", backend, predict_fn,
+                                      report, probe, convergence))
 
     def _emit_replay_record(self, app: str, variant: str,
                             decision: _ReplayDecision) -> None:
@@ -433,6 +473,9 @@ class Sweeper:
                                 if decision.report is not None else None),
             static_hint=(backend.static_hint
                          if backend is not None else None),
+            convergence_summary=(decision.convergence.summary()
+                                 if decision.convergence is not None
+                                 else None),
             meta={"harness": "sweeper"}))
 
     # ------------------------------------------------------------------
@@ -447,6 +490,15 @@ class Sweeper:
                                     wan_shape)
             if decision.mode == "replay":
                 runtime = decision.backend.price(bandwidth, latency_ms)
+            elif decision.mode == "vectorized-adaptive":
+                topo = grids.multi_cluster(bandwidth, latency_ms, clusters,
+                                           cluster_size, wan_shape)
+                rt, converged, _iters = \
+                    decision.backend.prepare_adaptive().price_adaptive(topo)
+                # An unconverged point downgrades to the interpreted
+                # evaluator — never a silently-wrong adaptive price.
+                runtime = rt if converged else \
+                    decision.predict_fn(bandwidth, latency_ms)
             elif decision.mode == "predict":
                 runtime = decision.predict_fn(bandwidth, latency_ms)
         elif self.predict:
@@ -522,11 +574,26 @@ class Sweeper:
             grid.validation = decision.report
             grid.backend = decision.mode
             grid.replay = decision.probe
-            if decision.mode in ("replay", "predict"):
+            grid.convergence = decision.convergence
+            if decision.mode in ("replay", "vectorized-adaptive", "predict"):
                 grid.predicted = True
                 if decision.mode == "replay":
                     priced = decision.backend.price_grid(bandwidths, latencies)
                     runtime_at = lambda i, j: float(priced[i][j])
+                elif decision.mode == "vectorized-adaptive":
+                    result = decision.backend.price_grid_adaptive(
+                        bandwidths, latencies)
+
+                    def runtime_at(i, j, _r=result):
+                        # Per-point downgrade: a point the iteration
+                        # could not fix is re-priced by the interpreted
+                        # evaluator instead of trusting a capped value.
+                        if bool(_r.converged[i][j]):
+                            return float(_r.runtimes[i][j])
+                        grid.downgraded_points.append(
+                            (bandwidths[j], latencies[i]))
+                        return decision.predict_fn(bandwidths[j],
+                                                   latencies[i])
                 else:
                     runtime_at = lambda i, j: decision.predict_fn(
                         bandwidths[j], latencies[i])

@@ -64,6 +64,11 @@ _LAZY = {
     "ReplayProgram": "program",
     "ReplayBackend": "backend",
     "replay_record": "backend",
+    "ADAPTIVE_FORMAT": "adaptive",
+    "AdaptiveProgram": "adaptive",
+    "AdaptiveResult": "adaptive",
+    "ConvergencePoint": "backend",
+    "ConvergenceReport": "backend",
 }
 
 
@@ -82,7 +87,12 @@ def __dir__():
 
 
 __all__ = [
+    "ADAPTIVE_FORMAT",
+    "AdaptiveProgram",
+    "AdaptiveResult",
     "CompileError",
+    "ConvergencePoint",
+    "ConvergenceReport",
     "ReplayBackend",
     "ReplayProgram",
     "ReplayUnavailable",

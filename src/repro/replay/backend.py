@@ -20,13 +20,21 @@
    whose orders flip (fft's pipelined transpose rounds, water's daemon
    scheduling) are flagged *order-unstable* and the caller downgrades to
    the per-point predict path — still analytic, just interpreted.
-4. **Price** whole grids in one vectorized pass, including the
+4. **Converge** (order-unstable programs only): compile the adaptive
+   variant (:func:`compile_dag` with ``adaptive=True``) and run the
+   :class:`~repro.replay.adaptive.AdaptiveProgram` fixed-point engine at
+   the same corners.  Programs whose re-sorted orders converge (fft)
+   price vectorized-adaptively; programs whose value feedback is too
+   deep to fix within the iteration cap (water) downgrade per the old
+   ladder.
+5. **Price** whole grids in one vectorized pass, including the
    loss-rate axis the interpreted paths do not offer.
 
 The fallback ladder, each rung guarded by the next: vectorized replay →
-(order-unstable) → predict path → (timing-sensitive, faults, corner
-validation failure) → full simulation.  :class:`~repro.experiments.
-runner.Sweeper` walks the ladder automatically for ``backend="replay"``.
+(order-unstable) → vectorized-adaptive → (unconverged at the corners) →
+predict path → (timing-sensitive, faults, corner validation failure) →
+full simulation.  :class:`~repro.experiments.runner.Sweeper` walks the
+ladder automatically for ``backend="replay"``.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from ..experiments.cache import SimCache
 from ..network.topology import Topology
 from ..whatif.evaluate import Evaluator
 from ..whatif.record import Recording, record_app
+from .adaptive import ADAPTIVE_FORMAT, DEFAULT_MAX_ITERS, AdaptiveProgram
 from .compile import CompileError, compile_dag
 from .program import PROGRAM_FORMAT, ReplayProgram
 
@@ -95,7 +104,74 @@ class ProbeReport:
                     f"probe points (tolerance {self.rel_tol:.0%})")
         return (f"order-unstable: frozen-order error "
                 f"{self.max_rel_error:.2%} exceeds {self.rel_tol:.0%} "
-                f"at the grid corners; using the per-point evaluator")
+                f"at the grid corners; trying the adaptive engine")
+
+
+@dataclass
+class ConvergencePoint:
+    """Adaptive engine vs evaluator at one grid corner."""
+
+    bandwidth_mbyte_s: float
+    latency_ms: float
+    adaptive_runtime: float
+    evaluator_runtime: float
+    converged: bool
+    iterations: int
+
+    @property
+    def rel_error(self) -> float:
+        return abs(self.adaptive_runtime - self.evaluator_runtime) \
+            / self.evaluator_runtime
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of the adaptive corner check for one compiled program.
+
+    The probe asked "does the frozen order hold?"; this asks the next
+    question down the ladder: "does the re-sorting iteration *find* the
+    right order?".  At a converged point the engine's fixed point is the
+    serve-in-arrival-order schedule, so its price must agree with the
+    interpreted evaluator to float noise; a converged corner whose
+    price still disagrees beyond ``rel_tol`` means the recording itself
+    (not the iteration) is wrong there, and also fails the check.
+    """
+
+    rel_tol: float
+    max_iters: int
+    points: List[ConvergencePoint] = field(default_factory=list)
+
+    @property
+    def max_rel_error(self) -> float:
+        return max((p.rel_error for p in self.points), default=0.0)
+
+    @property
+    def max_iterations(self) -> int:
+        return max((p.iterations for p in self.points), default=0)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(p.converged for p in self.points)
+
+    @property
+    def converged(self) -> bool:
+        """The rung verdict: every corner converged *and* agrees with
+        the evaluator within tolerance."""
+        return self.all_converged and self.max_rel_error <= self.rel_tol
+
+    def summary(self) -> str:
+        if self.converged:
+            return (f"adaptive-converged: all {len(self.points)} corners "
+                    f"fixed within {self.max_iterations} iterations, max "
+                    f"error {self.max_rel_error:.2%} vs the evaluator")
+        if not self.all_converged:
+            bad = sum(1 for p in self.points if not p.converged)
+            return (f"adaptive-unconverged: {bad}/{len(self.points)} "
+                    f"corners still changing after {self.max_iters} "
+                    f"iterations; downgrading to the per-point evaluator")
+        return (f"adaptive-diverged: corners converged but max error "
+                f"{self.max_rel_error:.2%} exceeds {self.rel_tol:.0%} "
+                f"vs the evaluator; downgrading to the per-point evaluator")
 
 
 class ReplayBackend:
@@ -109,11 +185,18 @@ class ReplayBackend:
         self.rel_tol = rel_tol
         self.program: Optional[ReplayProgram] = None
         self.from_cache = False
+        #: the adaptive-mode compilation, kept separate from ``program``:
+        #: its base arrays are *chainless* (queue joins carry no frozen
+        #: service chain), so its frozen sweep prices a no-waiting
+        #: relaxation — only the iterated entry points may be used.
+        self.adaptive_program: Optional[AdaptiveProgram] = None
+        self.adaptive_from_cache = False
         #: host-seconds per pipeline stage, for reports and the serve
         #: job results (record_s is the recording's own wall time).
         self.timings: Dict[str, float] = {"record_s": recording.wall_time}
         self._evaluator: Optional[Evaluator] = None
         self._probe: Optional[ProbeReport] = None
+        self._convergence: Optional[ConvergenceReport] = None
         self._static_hint: Optional[str] = None
         self._static_hint_known = False
 
@@ -165,9 +248,23 @@ class ReplayBackend:
         ``None`` when no probe has run yet, no hint is available, or
         the hint is ``timing-sensitive`` (the ladder short-circuits to
         simulation before probing those).
+
+        The hint forecasts the *ladder rung*, not the fixed point: an
+        ``unstable`` label predicts that the frozen order drifts and the
+        program needs per-point re-sorting — exactly the
+        vectorized-adaptive rung.  So when the adaptive convergence
+        check has run (it only runs on probe-unstable programs) and the
+        engine converged, an ``unstable`` hint is a *match*, never a
+        failure — even though the converged corner prices now agree
+        with the evaluator and a naive re-probe would read "stable".
         """
         hint = self.static_hint
-        if self._probe is None or hint not in ("stable", "unstable"):
+        if hint not in ("stable", "unstable"):
+            return None
+        if (hint == "unstable" and self._convergence is not None
+                and self._convergence.converged):
+            return True
+        if self._probe is None:
             return None
         return self._probe.stable == (hint == "stable")
 
@@ -191,6 +288,12 @@ class ReplayBackend:
         return (f"replay-{rec.app}-{rec.variant}-{rec.scale}"
                 f"-r{rec.topology.num_ranks}-s{rec.seed}"
                 f"-{rec.topology.fingerprint()}-f{PROGRAM_FORMAT}")
+
+    def adaptive_cache_key(self) -> str:
+        """Cache key of the adaptive compilation: the frozen key plus
+        the adaptive format version (group-array layout + iteration
+        semantics)."""
+        return f"{self.cache_key()}-a{ADAPTIVE_FORMAT}"
 
     # ------------------------------------------------------------------
     def prepare(self) -> ReplayProgram:
@@ -234,6 +337,51 @@ class ReplayBackend:
             })
         return self.program
 
+    def prepare_adaptive(self) -> AdaptiveProgram:
+        """Load or compile the adaptive (queue-group) program.
+
+        Kept separate from :meth:`prepare`'s frozen program: the
+        adaptive compilation is only needed once the probe has declared
+        the frozen orders unstable, and its chainless base arrays make
+        it unusable for frozen pricing.
+        """
+        if self.adaptive_program is not None:
+            return self.adaptive_program
+        key = self.adaptive_cache_key()
+        if self.cache is not None:
+            t0 = time.perf_counter()  # lint: ignore[wall-clock]
+            entry = self.cache.lookup(key)
+            if entry is not None and "program" in entry:
+                try:
+                    self.adaptive_program = \
+                        AdaptiveProgram.from_record(entry["program"])
+                except ValueError:
+                    self.adaptive_program = None  # stale format: recompile
+                if self.adaptive_program is not None:
+                    self.adaptive_from_cache = True
+                    self.timings["adaptive_load_s"] = \
+                        time.perf_counter() - t0  # lint: ignore[wall-clock]
+                    return self.adaptive_program
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        self.adaptive_program = compile_dag(
+            self.recording.dag, self.recording.topology, adaptive=True)
+        self.timings["adaptive_compile_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        if self.cache is not None:
+            rec = self.recording
+            self.cache.store(key, {
+                "kind": "replay-adaptive",
+                "app": rec.app,
+                "variant": rec.variant,
+                "scale": rec.scale,
+                "seed": rec.seed,
+                "ranks": rec.topology.num_ranks,
+                "fingerprint": rec.topology.fingerprint(),
+                "stats": self.adaptive_program.stats(),
+                "program": self.adaptive_program.to_record(),
+            })
+        return self.adaptive_program
+
     # ------------------------------------------------------------------
     def probe(self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
               latencies: Sequence[float] = grids.LATENCIES_MS) -> ProbeReport:
@@ -258,6 +406,42 @@ class ReplayBackend:
         self._probe = report
         return report
 
+    def convergence_check(
+            self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
+            latencies: Sequence[float] = grids.LATENCIES_MS,
+            max_iters: int = DEFAULT_MAX_ITERS) -> ConvergenceReport:
+        """Adaptive fixed-point check at the grid corners (memoized).
+
+        This is the probe's analogue one rung down the ladder: run the
+        re-sorting engine at the corners and compare its *converged*
+        prices against the interpreted evaluator.  Corners are the
+        natural check points — they bracket the grid's order churn, and
+        a corner that converges bounds the iteration budget the full
+        grid will need.
+        """
+        if self._convergence is not None:
+            return self._convergence
+        from ..whatif.validate import corner_points
+
+        program = self.prepare_adaptive()
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        points = corner_points(bandwidths, latencies)
+        result = program.price_points_adaptive(points, max_iters=max_iters)
+        report = ConvergenceReport(rel_tol=self.rel_tol,
+                                   max_iters=max_iters)
+        for i, (bw, lat) in enumerate(points):
+            evaluated = self.evaluator.evaluate(self.topology_for(bw, lat))
+            report.points.append(ConvergencePoint(
+                bandwidth_mbyte_s=bw, latency_ms=lat,
+                adaptive_runtime=float(result.runtimes[i]),
+                evaluator_runtime=evaluated,
+                converged=bool(result.converged[i]),
+                iterations=int(result.iterations[i])))
+        self.timings["convergence_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        self._convergence = report
+        return report
+
     # ------------------------------------------------------------------
     def price_grid(self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
                    latencies: Sequence[float] = grids.LATENCIES_MS,
@@ -268,6 +452,22 @@ class ReplayBackend:
         t0 = time.perf_counter()  # lint: ignore[wall-clock]
         out = program.price_grid(bandwidths, latencies, loss_rates)
         self.timings["price_s"] = \
+            time.perf_counter() - t0  # lint: ignore[wall-clock]
+        return out
+
+    def price_grid_adaptive(
+            self, bandwidths: Sequence[float] = grids.BANDWIDTHS_MBYTE_S,
+            latencies: Sequence[float] = grids.LATENCIES_MS,
+            loss_rates: Optional[Sequence[float]] = None,
+            max_iters: int = DEFAULT_MAX_ITERS):
+        """Adaptive runtimes + convergence flags for a whole grid; see
+        :meth:`~repro.replay.adaptive.AdaptiveProgram.
+        price_grid_adaptive`."""
+        program = self.prepare_adaptive()
+        t0 = time.perf_counter()  # lint: ignore[wall-clock]
+        out = program.price_grid_adaptive(bandwidths, latencies, loss_rates,
+                                          max_iters=max_iters)
+        self.timings["adaptive_price_s"] = \
             time.perf_counter() - t0  # lint: ignore[wall-clock]
         return out
 
@@ -296,6 +496,32 @@ class _ProgramEvaluator:
             raise EvaluationError(str(err)) from err
 
 
+class _AdaptiveEvaluator:
+    """The same adapter for the adaptive engine, so the
+    vectorized-adaptive rung shares ground-truth corner validation
+    verbatim too.  An unconverged point is an evaluation *failure*
+    (validate() then falls back), never a silently-wrong price."""
+
+    def __init__(self, program: AdaptiveProgram,
+                 max_iters: int = DEFAULT_MAX_ITERS) -> None:
+        self._program = program
+        self._max_iters = max_iters
+
+    def evaluate(self, topology: Topology) -> float:
+        from ..whatif.evaluate import EvaluationError
+
+        try:
+            runtime, converged, _iters = self._program.price_adaptive(
+                topology, max_iters=self._max_iters)
+        except ValueError as err:
+            raise EvaluationError(str(err)) from err
+        if not converged:
+            raise EvaluationError(
+                f"adaptive engine did not converge within "
+                f"{self._max_iters} iterations at this point")
+        return runtime
+
+
 def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
                   program_stats: Optional[Dict[str, Any]] = None,
                   timings: Optional[Dict[str, float]] = None,
@@ -303,12 +529,15 @@ def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
                   probe_summary: Optional[str] = None,
                   validation_summary: Optional[str] = None,
                   static_hint: Optional[str] = None,
+                  convergence_summary: Optional[str] = None,
                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Build one ``replay`` report record (JSON-lines, obs substrate).
 
     ``mode`` is the rung of the fallback ladder that actually produced
-    the grid: ``"replay"`` (vectorized), ``"predict"`` (order-unstable
-    downgrade), or ``"simulate"`` (timing-sensitive/faulty/invalid).
+    the grid: ``"replay"`` (vectorized), ``"vectorized-adaptive"``
+    (order-unstable but the re-sorting engine converges), ``"predict"``
+    (order-unstable and unconverged), or ``"simulate"``
+    (timing-sensitive/faulty/invalid).
     """
     record: Dict[str, Any] = {
         "kind": "replay",
@@ -330,4 +559,6 @@ def replay_record(app: str, variant: str, scale: str, seed: int, mode: str,
         record["replay"]["validation"] = validation_summary
     if static_hint is not None:
         record["replay"]["static_hint"] = static_hint
+    if convergence_summary is not None:
+        record["replay"]["convergence"] = convergence_summary
     return record

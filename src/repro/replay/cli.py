@@ -6,11 +6,14 @@ program, probes its frozen contention orders against the interpreted
 evaluator at the grid corners, validates against full simulation there,
 and prints the complete Figure-3 panel priced in one numpy pass — plus
 the probe/validation verdicts and a stage-by-stage timing summary.
-Order-unstable DAGs (fft, water) downgrade to the per-point predict
-path; timing-dependent apps (tsp, awari) report their fallback and run
-the full simulation.  With ``--loss``, reprices the panel under a
-uniform WAN packet-loss rate — an axis only the compiled program
-offers analytically.
+Order-unstable DAGs try the vectorized-adaptive rung first: the
+fixed-point engine re-sorts every contended queue per grid point and
+keeps the grid batched when its corner convergence check passes (fft);
+programs whose iteration does not converge (water) downgrade to the
+per-point predict path, and timing-dependent apps (tsp, awari) report
+their fallback and run the full simulation.  With ``--loss``, reprices
+the panel under a uniform WAN packet-loss rate — an axis only the
+compiled programs offer analytically.
 """
 
 from __future__ import annotations
@@ -30,16 +33,27 @@ def _loss_panel(sweeper: Sweeper, app: str, variant: str,
                 loss_rate: float) -> Optional[str]:
     """The Figure-3 panel re-priced under a uniform WAN loss rate."""
     decision = sweeper._replay(app, variant)
-    if decision.mode != "replay":
-        print(f"[replay] --loss needs the vectorized program; {app}/{variant} "
+    if decision.mode not in ("replay", "vectorized-adaptive"):
+        print(f"[replay] --loss needs a vectorized program; {app}/{variant} "
               f"runs in {decision.mode!r} mode — skipping the loss panel")
         return None
     base = sweeper.baseline_runtime(app, variant)
-    runtimes = decision.backend.price_grid(loss_rates=[loss_rate])[0]
+    if decision.mode == "replay":
+        runtimes = decision.backend.price_grid(loss_rates=[loss_rate])[0]
+    else:
+        result = decision.backend.price_grid_adaptive(loss_rates=[loss_rate])
+        if not result.all_converged:
+            # The interpreted evaluator has no loss axis, so there is no
+            # per-point downgrade target under loss — skip honestly.
+            print(f"[replay] --loss skipped: {result.num_unconverged} "
+                  f"points did not converge at p={loss_rate:g} and no "
+                  f"analytic downgrade exists on the loss axis")
+            return None
+        runtimes = result.runtimes[0]
     from ..experiments.runner import SpeedupGrid
 
     grid = SpeedupGrid(app=app, variant=variant, baseline_runtime=base,
-                       predicted=True, backend="replay")
+                       predicted=True, backend=decision.mode)
     for i, lat in enumerate(grids.LATENCIES_MS):
         for j, bw in enumerate(grids.BANDWIDTHS_MBYTE_S):
             runtime = float(runtimes[i][j])
@@ -87,6 +101,13 @@ def main(argv: Optional[list] = None) -> int:
           f"({len(grid.points)}-point grid in {wall:.2f}s total)")
     if grid.replay is not None:
         print(f"[replay] probe: {grid.replay.summary()}")
+    if grid.convergence is not None:
+        print(f"[replay] convergence: {grid.convergence.summary()}")
+    if grid.downgraded_points:
+        pts = ", ".join(f"({bw:g} MB/s, {lat:g} ms)"
+                        for bw, lat in grid.downgraded_points)
+        print(f"[replay] {len(grid.downgraded_points)} unconverged "
+              f"points re-priced by the evaluator: {pts}")
     if grid.validation is not None:
         print(f"[replay] validation: {grid.validation.summary()}")
 
@@ -98,12 +119,20 @@ def main(argv: Optional[list] = None) -> int:
               f"{stats['levels']} levels, {stats['joins_reduced']} joins "
               f"folded at compile time"
               + (" (loaded from cache)" if backend.from_cache else ""))
+    if backend is not None and backend.adaptive_program is not None:
+        stats = backend.adaptive_program.stats()
+        print(f"[replay] adaptive program: {stats['nodes']} nodes in "
+              f"{stats['levels']} levels, {stats['adaptive_group_ops']} "
+              f"queue ops across {stats['adaptive_groups']} groups"
+              + (" (loaded from cache)"
+                 if backend.adaptive_from_cache else ""))
     if backend is not None and backend.timings:
         stages = ", ".join(f"{name[:-2]} {secs * 1e3:.1f}ms"
                            for name, secs in sorted(backend.timings.items()))
         print(f"[replay] stages: {stages}")
 
-    if args.loss is not None and grid.backend == "replay":
+    if args.loss is not None and grid.backend in ("replay",
+                                                  "vectorized-adaptive"):
         panel = _loss_panel(sweeper, args.app, variant, args.loss)
         if panel is not None:
             print()

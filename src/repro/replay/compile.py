@@ -33,10 +33,39 @@ Pure dependency chains (receive pins, compute, spawns) carry over
 exactly: a parked-vs-delivered receive is ``max(t, delivery)`` on both
 paths, so only contention order is approximated.
 
+``compile_dag(..., adaptive=True)`` removes even that approximation's
+*representation*: queue joins are emitted chainless (no frozen
+served-order edges, which collapses the level count) and every
+contended resource's service ops are recorded as a **queue group** —
+arrival stamp plus cost row per op — so
+:class:`~repro.replay.adaptive.AdaptiveProgram` can re-sort and
+re-price the orders per grid point until they converge.  Rigid groups
+whose order is data-independent keep their chain edges and stay out of
+the iteration.
+
 Join reduction keeps the program small: a ``max`` of two stamps on the
 same node collapses when one offset dominates componentwise, and a
 ``max`` against the never-positive root stamp (an idle resource clock)
 is dropped.  What remains is one node per *genuine* synchronization.
+
+**Adaptive mode** (``compile_dag(..., adaptive=True)``) targets the
+order-unstable DAGs the frozen programs cannot price: every
+resource-booking ``max`` is materialized unconditionally and recorded in
+a per-resource **queue group** — (arrival stamp, service-cost row,
+join node) per booking, in reference service order — so
+:class:`~repro.replay.adaptive.AdaptiveProgram` can re-sort each queue
+from a previous iterate's arrival times and re-serve it per grid point,
+instead of trusting the frozen order.  Daemon handler queues become
+groups too (the block's service cost is the recv overhead plus its body
+duration); a daemon block whose body is not affine over the block start
+(a shared-CPU compute chain) marks its group *rigid* — kept frozen —
+while shared CPUs gain their own re-sortable ``cpu`` groups.  One
+deliberate approximation: a started daemon's wake-time join
+(``t = max(t, now)``) is dropped — it is subsumed by the per-block
+arrival maxes except for a LIFO pop quirk the convergence check
+arbitrates.  Adaptive programs therefore are not bit-identical to the
+frozen compile even at the anchor; the default (non-adaptive) output is
+unchanged byte for byte.
 """
 
 from __future__ import annotations
@@ -107,6 +136,37 @@ class _Circuit:
         return (nid, 0.0, 0.0, 0.0, 0.0, ref)
 
 
+class _Group:
+    """One contended resource's service queue, in reference order.
+
+    ``ops`` rows are ``(arrival_stamp, cost_row, node_id)``: the arrival
+    stamp the booking joined against the resource clock, the affine
+    service-cost row ``(c0, bytes, hops, traversals)``, and the
+    materialized join node whose value is the start of service.
+    ``seed`` is the resource's initial clock (the root stamp for
+    hardware; a daemon's post-prologue stamp).  ``rigid`` groups keep
+    their frozen order — a daemon block's body was not affine over the
+    block start, so re-sorting could not re-price the chain.
+
+    Queue joins are emitted *chainless* (both predecessor slots point
+    at the arrival): the adaptive engine overrides the node with the
+    served start every sweep, so a frozen edge to the previous service
+    would only stretch the levelization — the intra-queue chains are
+    what make fft's frozen program 1183 levels deep.  ``chain_preds``
+    remembers each dropped resource-clock stamp so the frozen edge can
+    be patched back in if the group later turns out rigid.
+    """
+
+    __slots__ = ("kind", "ops", "rigid", "seed", "chain_preds")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.ops: List[tuple] = []
+        self.rigid = False
+        self.seed = _ZERO
+        self.chain_preds: List[tuple] = []
+
+
 class _Proc:
     """Mutable compile-time state of one recorded process (stamp clocks)."""
 
@@ -132,7 +192,8 @@ class _Proc:
         self.nserved = 0
 
 
-def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
+def compile_dag(dag: CommDag, topology: Optional[Topology] = None,
+                adaptive: bool = False):
     """Compile ``dag`` into a :class:`~repro.replay.program.ReplayProgram`.
 
     ``topology`` supplies the fixed (local network, gateway, WAN shape)
@@ -141,6 +202,11 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
     :data:`~repro.whatif.record.REFERENCE_POINT` on the DAG's own
     cluster shape.  Raises :class:`CompileError` for timing-sensitive
     DAGs — the caller owns the fallback to full simulation.
+
+    With ``adaptive=True`` the result is an :class:`~repro.replay.
+    adaptive.AdaptiveProgram`: resource bookings are materialized into
+    re-sortable queue groups (see the module docstring) for the
+    Gauss-Seidel re-pricing engine.  The default output is unchanged.
     """
     from .program import ReplayProgram
 
@@ -180,6 +246,59 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
     circuit = _Circuit()
     join = circuit.join
 
+    #: adaptive-mode queue groups, keyed by resource identity; None in
+    #: the default frozen compile (all booking sites branch on this).
+    groups: Optional[dict] = {} if adaptive else None
+
+    def join_forced(x: tuple, y: tuple) -> tuple:
+        """max(x, y) with the node always materialized — group nodes
+        must exist even when a reduction would elide them, so the
+        adaptive engine has a slot to override per iteration."""
+        nid = len(circuit.pa)
+        circuit.pa.append(x[0])
+        circuit.pb.append(y[0])
+        circuit.ea.append((x[1], x[2], x[3], x[4]))
+        circuit.eb.append((y[1], y[2], y[3], y[4]))
+        return (nid, 0.0, 0.0, 0.0, 0.0, x[5] if x[5] >= y[5] else y[5])
+
+    def join_queue(g: "_Group", arrival: tuple, free: tuple) -> tuple:
+        """A chainless queue join: the emitted node depends only on the
+        arrival (both predecessor slots), so queue chains don't inflate
+        the levelization; the reference clock still advances over the
+        resource's ``free`` stamp, keeping the compile-time event order
+        exact.  The dropped chain stamp is remembered for rigid
+        patch-back."""
+        nid = len(circuit.pa)
+        circuit.pa.append(arrival[0])
+        circuit.pb.append(arrival[0])
+        row = (arrival[1], arrival[2], arrival[3], arrival[4])
+        circuit.ea.append(row)
+        circuit.eb.append(row)
+        g.chain_preds.append((nid, free))
+        ref = arrival[5] if arrival[5] >= free[5] else free[5]
+        return (nid, 0.0, 0.0, 0.0, 0.0, ref)
+
+    def make_rigid(g: "_Group") -> None:
+        """Freeze a group: restore the chain edges its queue joins
+        dropped (the adaptive engine will never override them)."""
+        g.rigid = True
+        for nid, free in g.chain_preds:
+            circuit.pb[nid] = free[0]
+            circuit.eb[nid] = (free[1], free[2], free[3], free[4])
+        g.chain_preds.clear()
+
+    def book(key: tuple, arrival: tuple, free: tuple, cost: tuple,
+             ref_cost: float) -> tuple:
+        """Adaptive booking: record one service in its queue group and
+        return the end-of-service stamp (cost row over the join node)."""
+        g = groups.get(key)
+        if g is None:
+            g = groups[key] = _Group(key[0])
+        node = join_queue(g, arrival, free)
+        g.ops.append((arrival, cost, node[0]))
+        return (node[0], cost[0], cost[1], cost[2], cost[3],
+                node[5] + ref_cost)
+
     def plus(s: tuple, c0: float) -> tuple:
         """Advance a stamp by a grid-constant cost."""
         return (s[0], s[1] + c0, s[2], s[3], s[4], s[5] + c0)
@@ -206,6 +325,7 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
     wan_free = {pair: _ZERO for pair in topology.wan_pairs()}
 
     procs = [_Proc(*c) for c in shape._compiled]
+    proc_index = {id(p): i for i, p in enumerate(procs)}
     pin_off = shape._pin_off
     ch_next = [0] * n_ch
     dlv_at: List[tuple] = [_ZERO] * shape._n_pins
@@ -273,7 +393,11 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
 
     def book_nic(rank: int, t: tuple, size: float) -> tuple:
         """Reserve the sender NIC: returns the transfer-end stamp."""
-        end = plus(join(t, nic_free[rank]), size / local_bw)
+        if groups is None:
+            end = plus(join(t, nic_free[rank]), size / local_bw)
+        else:
+            end = book(("nic", rank), t, nic_free[rank],
+                       (size / local_bw, 0.0, 0.0, 0.0), size / local_bw)
         nic_free[rank] = end
         return end
 
@@ -311,8 +435,12 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
             if code == OP_COMPUTE:
                 if proc.solo_cpu:
                     t = plus(t, op[1])
-                else:
+                elif groups is None:
                     t = plus(join(t, cpu_free[rank]), op[1])
+                    cpu_free[rank] = t
+                else:
+                    t = book(("cpu", rank), t, cpu_free[rank],
+                             (op[1], 0.0, 0.0, 0.0), op[1])
                     cpu_free[rank] = t
             elif code == OP_SEND:
                 scid = op[1]
@@ -354,6 +482,9 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
         proc.finished = True
 
     def run_daemon(proc: _Proc, now: tuple) -> None:
+        if groups is not None:
+            run_daemon_adaptive(proc, now)
+            return
         t = join(proc.t, now)
         ready = proc.ready
         blocks = proc.blocks
@@ -371,6 +502,52 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
             t = run_body(proc, t, body)
             body = None
         proc.prologue = None
+        proc.t = t
+        if proc.nserved == len(blocks):
+            proc.finished = True
+
+    def run_daemon_adaptive(proc: _Proc, now: tuple) -> None:
+        """Daemon service as a queue group: each handler block is one
+        op whose arrival is the delivery stamp and whose cost is the
+        recv overhead plus the body duration.  The wake-time join of
+        the frozen path is dropped (see the module docstring); the
+        post-prologue stamp seeds the group's chain instead."""
+        key = ("daemon", proc_index[id(proc)])
+        g = groups.get(key)
+        if g is None:
+            g = groups[key] = _Group("daemon")
+        if proc.prologue is not None:
+            if proc.root and not proc.prologue:
+                chain = _ZERO  # unconstrained: first block starts at its
+                # own arrival (a root daemon with no prologue work)
+            else:
+                chain = run_body(proc, join(proc.t, now), proc.prologue)
+            proc.prologue = None
+            g.seed = chain
+            proc.t = chain
+        t = proc.t
+        ready = proc.ready
+        blocks = proc.blocks
+        while ready:
+            _ref, bi, at = pop(ready)
+            cid, _k, _pid, body = blocks[bi]
+            if g.rigid:
+                node = join_forced(at, t)   # start of service
+            else:
+                node = join_queue(g, at, t)
+            tt = plus((node[0], 0.0, 0.0, 0.0, 0.0, node[5]),
+                      ch_recv_ov[cid])
+            tt = run_body(proc, tt, body)
+            if tt[0] != node[0] and not g.rigid:
+                # The body joined a shared clock: its duration is not an
+                # affine offset over the block start, so this queue
+                # cannot be re-served from a cost row.  Keep the frozen
+                # order (the shared clock has its own adaptive group)
+                # and patch the chain edges back in.
+                make_rigid(g)
+            g.ops.append((at, (tt[1], tt[2], tt[3], tt[4]), node[0]))
+            t = tt
+            proc.nserved += 1
         proc.t = t
         if proc.nserved == len(blocks):
             proc.finished = True
@@ -400,9 +577,17 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
         elif kind == _EV_GW:
             hops = ch_hops[cid]
             here, nxt = hops[hop_idx]
-            ready_at = plus(join(stamp, gw_free[here]), gw_service)
-            gw_free[here] = ready_at
-            wend = plus_wire(join(ready_at, wan_free[(here, nxt)]), size)
+            if groups is None:
+                ready_at = plus(join(stamp, gw_free[here]), gw_service)
+                gw_free[here] = ready_at
+                wend = plus_wire(join(ready_at, wan_free[(here, nxt)]), size)
+            else:
+                ready_at = book(("gw", here), stamp, gw_free[here],
+                                (gw_service, 0.0, 0.0, 0.0), gw_service)
+                gw_free[here] = ready_at
+                wend = book(("wan", here, nxt), ready_at,
+                            wan_free[(here, nxt)], (0.0, size, 0.0, 0.0),
+                            size * ref_inv_bw)
             wan_free[(here, nxt)] = wend
             wan_bytes += size
             wan_traversals += 1
@@ -413,10 +598,20 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
             seq += 1
         elif kind == _EV_ARRIVE:
             dst_cluster = ch_dst_cluster[cid]
-            ready_at = plus(join(stamp, gw_free[dst_cluster]), gw_service)
-            gw_free[dst_cluster] = ready_at
-            oend = plus(join(ready_at, gwout_free[dst_cluster]),
-                        size / local_bw)
+            if groups is None:
+                ready_at = plus(join(stamp, gw_free[dst_cluster]), gw_service)
+                gw_free[dst_cluster] = ready_at
+                oend = plus(join(ready_at, gwout_free[dst_cluster]),
+                            size / local_bw)
+            else:
+                ready_at = book(("gw", dst_cluster), stamp,
+                                gw_free[dst_cluster],
+                                (gw_service, 0.0, 0.0, 0.0), gw_service)
+                gw_free[dst_cluster] = ready_at
+                oend = book(("gwout", dst_cluster), ready_at,
+                            gwout_free[dst_cluster],
+                            (size / local_bw, 0.0, 0.0, 0.0),
+                            size / local_bw)
             gwout_free[dst_cluster] = oend
             deliver(cid, plus(oend, local_lat))
         else:  # _EV_MCAST
@@ -453,9 +648,27 @@ def compile_dag(dag: CommDag, topology: Optional[Topology] = None):
         "num_ops": dag.num_ops,
         "num_messages": dag.num_messages,
     }
+    finish_rows = [(s[0], s[1], s[2], s[3], s[4]) for s in finish]
+    if groups is not None:
+        from .adaptive import AdaptiveProgram
+
+        # Rigid queues keep their frozen order by construction (their
+        # chain edges were patched back).  Singleton hardware queues
+        # are exact without serving (a chainless join over a root seed
+        # is just the arrival), but a singleton daemon queue still
+        # needs its seed constraint served in.
+        glist = [(g.kind, g.seed, g.ops) for g in groups.values()
+                 if not g.rigid and
+                 (len(g.ops) > 1 or (g.ops and g.seed is not _ZERO))]
+        meta["adaptive_groups"] = len(glist)
+        meta["adaptive_group_ops"] = sum(len(ops) for _, _, ops in glist)
+        meta["adaptive_rigid_groups"] = sum(
+            1 for g in groups.values() if g.rigid)
+        return AdaptiveProgram.from_circuit_groups(
+            circuit.pa, circuit.pb, circuit.ea, circuit.eb,
+            finish_rows, meta, glist)
     return ReplayProgram.from_circuit(
-        circuit.pa, circuit.pb, circuit.ea, circuit.eb,
-        [(s[0], s[1], s[2], s[3], s[4]) for s in finish], meta)
+        circuit.pa, circuit.pb, circuit.ea, circuit.eb, finish_rows, meta)
 
 
 def compile_recording(recording: Recording):

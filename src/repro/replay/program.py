@@ -56,6 +56,34 @@ _BACKOFF = 2.0
 _ACK_BYTES = 64.0
 
 
+def _levelize(pa: List[int], pb: List[int]):
+    """Longest-chain levels for the compiler's append-order node lists.
+
+    Returns ``(order, remap, starts)``: the level-major node order, the
+    old-id -> new-id map, and the per-level start offsets (length
+    ``n_levels + 1``).  Shared by :meth:`ReplayProgram.from_circuit` and
+    the adaptive packer, which must remap its group arrays with the
+    same ``remap``.
+    """
+    n = len(pa)
+    level = [0] * n
+    for i in range(1, n):
+        la = level[pa[i]]
+        lb = level[pb[i]]
+        level[i] = (la if la >= lb else lb) + 1
+    order = sorted(range(n), key=lambda i: (level[i], i))
+    remap = [0] * n
+    for new, old in enumerate(order):
+        remap[old] = new
+    n_levels = level[order[-1]] + 1 if n else 1
+    starts = [0] * (n_levels + 1)
+    for lv in (level[old] for old in order):
+        starts[lv + 1] += 1
+    for lv in range(n_levels):
+        starts[lv + 1] += starts[lv]
+    return order, remap, starts
+
+
 def _encode(arr) -> Dict[str, Any]:
     return {"shape": list(arr.shape), "dtype": str(arr.dtype),
             "data": base64.b64encode(arr.tobytes()).decode("ascii")}
@@ -95,21 +123,8 @@ class ReplayProgram:
         """
         np = require_numpy()
         n = len(pa)
-        level = [0] * n
-        for i in range(1, n):
-            la = level[pa[i]]
-            lb = level[pb[i]]
-            level[i] = (la if la >= lb else lb) + 1
-        order = sorted(range(n), key=lambda i: (level[i], i))
-        remap = [0] * n
-        for new, old in enumerate(order):
-            remap[old] = new
-        n_levels = level[order[-1]] + 1 if n else 1
-        starts = [0] * (n_levels + 1)
-        for lv in (level[old] for old in order):
-            starts[lv + 1] += 1
-        for lv in range(n_levels):
-            starts[lv + 1] += starts[lv]
+        order, remap, starts = _levelize(pa, pb)
+        n_levels = len(starts) - 1
 
         pred_a = np.fromiter((remap[pa[old]] for old in order),
                              dtype=np.int32, count=n)
@@ -175,13 +190,8 @@ class ReplayProgram:
                           - loss / (1.0 - loss)) / (b - 1.0)
         return inv_bw / (1.0 - loss), expected
 
-    def _sweep(self, np, inv_bw, wlat, eloss):
-        """Runtime at each of G grid points (all args shape ``(G,)``)."""
-        # Price every edge at every point with one matmul: rows of the
-        # parameter matrix are (1, 1/wide_bw, wide_lat, E_loss).
-        params = np.stack([np.ones_like(inv_bw), inv_bw, wlat, eloss])
-        cost_a = self.edge_a @ params        # (N, G)
-        cost_b = self.edge_b @ params
+    def _sweep_values(self, np, cost_a, cost_b):
+        """All node values for pre-priced edge costs (both ``(N, G)``)."""
         t = np.empty_like(cost_a)
         starts = self.level_starts
         t[starts[0]:starts[1]] = 0.0         # level 0: the root
@@ -191,6 +201,16 @@ class ReplayProgram:
             np.maximum(t[pa[lo:hi]] + cost_a[lo:hi],
                        t[pb[lo:hi]] + cost_b[lo:hi],
                        out=t[lo:hi])
+        return t
+
+    def _sweep(self, np, inv_bw, wlat, eloss):
+        """Runtime at each of G grid points (all args shape ``(G,)``)."""
+        # Price every edge at every point with one matmul: rows of the
+        # parameter matrix are (1, 1/wide_bw, wide_lat, E_loss).
+        params = np.stack([np.ones_like(inv_bw), inv_bw, wlat, eloss])
+        cost_a = self.edge_a @ params        # (N, G)
+        cost_b = self.edge_b @ params
+        t = self._sweep_values(np, cost_a, cost_b)
         finals = t[self.fin_node] + self.fin_edge @ params
         return finals.max(axis=0)
 

@@ -510,7 +510,7 @@ class Scheduler:
         if "fallback_reason" in result:
             record["fallback_reason"] = result["fallback_reason"]
         record["predicted"] = result["predicted"]
-        for extra in ("mode", "probe"):
+        for extra in ("mode", "probe", "convergence", "downgraded_points"):
             if extra in result:
                 record[extra] = result[extra]
         self._emit(job, record)

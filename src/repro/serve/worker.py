@@ -175,6 +175,10 @@ def run_replay_grid(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
     if grid.replay is not None:
         out["probe"] = grid.replay.summary()
+    if grid.convergence is not None:
+        out["convergence"] = grid.convergence.summary()
+    if grid.downgraded_points:
+        out["downgraded_points"] = [list(p) for p in grid.downgraded_points]
     report = grid.validation
     if report is not None and getattr(report, "fallback", False):
         out["fallback_reason"] = getattr(report, "reason", "") or \

@@ -3,9 +3,18 @@
 This is the static analyzer's headline claim, pinned as data: the
 labels must agree with the runtime probe verdicts measured by the
 replay ladder (docs/replay.md) — asp and barnes replay with frozen
-orders, fft and water need the per-point evaluator, tsp and awari are
+orders, fft and water are order-unstable, tsp and awari are
 timing-dependent and must be simulated.  CI runs this table on every
 push; a classification drift is a behavior change, not noise.
+
+Note on the ladder (the labels themselves are unchanged): since the
+vectorized-adaptive rung landed, an ``unstable`` label no longer maps
+one-to-one onto the per-point evaluator.  It predicts that the frozen
+orders drift and per-point re-sorting is needed — fft's re-sorted
+orders then converge under the adaptive engine (rung
+"vectorized-adaptive"), while water's deep value feedback does not and
+falls through to "predict".  tests/replay/test_fallback.py pins the
+rung each app actually lands on.
 """
 
 from repro.lint.proto import classify, classification_table

@@ -12,6 +12,7 @@ import pytest
 from repro.experiments import grids
 from repro.experiments.cache import SimCache
 from repro.replay import require_numpy
+from repro.replay.adaptive import ADAPTIVE_FORMAT
 from repro.replay.backend import PROBE_REL_TOL, ReplayBackend
 from repro.replay.program import PROGRAM_FORMAT
 
@@ -76,6 +77,63 @@ def test_probe_verdicts_split_by_order_stability():
     assert not report.stable
     assert "order-unstable" in report.summary()
     assert len(report.points) == 4
+
+
+# ----------------------------------------------------------------------
+# The vectorized-adaptive rung
+# ----------------------------------------------------------------------
+def test_adaptive_cache_key_extends_the_frozen_key():
+    backend = ReplayBackend.for_app("fft", "unoptimized")
+    assert backend.adaptive_cache_key() == \
+        f"{backend.cache_key()}-a{ADAPTIVE_FORMAT}"
+
+
+def test_prepare_adaptive_compiles_then_loads_from_cache(tmp_path):
+    cache = SimCache(str(tmp_path / "c"))
+    first = ReplayBackend.for_app("fft", "unoptimized", cache=cache)
+    program = first.prepare_adaptive()
+    assert not first.adaptive_from_cache
+    assert "adaptive_compile_s" in first.timings
+    assert program.num_group_ops > 0
+    # the frozen program is untouched: separate slot, separate key
+    assert first.program is None
+
+    second = ReplayBackend.for_app("fft", "unoptimized", cache=cache)
+    reloaded = second.prepare_adaptive()
+    assert second.adaptive_from_cache
+    assert "adaptive_load_s" in second.timings
+    assert reloaded.stats() == program.stats()
+    assert cache.lookup(second.adaptive_cache_key())["kind"] == \
+        "replay-adaptive"
+
+
+def test_convergence_check_converges_fft_at_the_corners():
+    backend = ReplayBackend.for_app("fft", "unoptimized")
+    report = backend.convergence_check()
+    assert report.converged
+    assert report.all_converged
+    assert len(report.points) == 4
+    assert report.max_rel_error <= PROBE_REL_TOL
+    assert "adaptive-converged" in report.summary()
+    # memoized: the second call is the same object
+    assert backend.convergence_check() is report
+
+
+def test_unstable_hint_with_converging_adaptive_engine_is_a_match():
+    # Regression for the new rung: the static "unstable" label predicts
+    # per-point re-sorting — exactly what the adaptive engine does — so
+    # a program that converges under it must report the hint as a
+    # *match*, even though the converged corner prices agree with the
+    # evaluator and a naive re-probe would now read "stable".
+    backend = ReplayBackend.for_app("fft", "unoptimized")
+    assert backend.static_hint == "unstable"
+    assert backend.hint_matches_probe() is None     # nothing measured yet
+    report = backend.convergence_check()
+    assert report.converged
+    assert backend.hint_matches_probe() is True     # rung predicted, match
+    # and the probe verdict, measured afterwards, must not flip it back
+    assert not backend.probe().stable
+    assert backend.hint_matches_probe() is True
 
 
 # ----------------------------------------------------------------------

@@ -5,6 +5,14 @@ safe.  Timing-sensitive DAGs (tsp's work stealing, awari's MARK
 protocol), fault-bearing sweeps, and order-unstable programs each have
 a designated landing rung, and a missing numpy must surface as the one
 clear :class:`ReplayUnavailable` error.
+
+With the vectorized-adaptive rung, the order-unstable landing spot
+splits by measured convergence: fft's re-sorted orders fix within the
+iteration cap, so it stays vectorized ("vectorized-adaptive"); water's
+value feedback is hundreds of queue-crossings deep, its corners never
+converge, and it falls through to the per-point evaluator ("predict").
+Both outcomes are pinned here — water converging would be as much a
+behavior change as fft regressing to predict.
 """
 
 import sys
@@ -30,6 +38,7 @@ def test_timing_sensitive_apps_fall_back_to_simulation(app):
     assert grid.validation is not None
     assert grid.validation.fallback
     assert "timing" in grid.validation.reason
+    assert grid.convergence is None
     assert len(grid.points) == len(BWS) * len(LATS)
 
 
@@ -41,16 +50,49 @@ def test_lossy_fault_plan_falls_back_to_simulation():
     assert not grid.predicted
     assert grid.validation.fallback
     assert "fault" in grid.validation.reason
+    assert grid.convergence is None
     assert len(grid.points) == len(BWS) * len(LATS)
 
 
-def test_order_unstable_program_downgrades_to_predict():
+@pytest.mark.parametrize("app,variant", [("asp", "optimized"),
+                                         ("barnes", "optimized")])
+def test_order_stable_apps_stay_on_plain_vectorized(app, variant):
+    grid = Sweeper(backend="replay").speedup_grid(
+        app, variant, bandwidths=BWS, latencies=LATS)
+    assert grid.backend == "replay"
+    assert grid.predicted
+    assert grid.replay is not None and grid.replay.stable
+    # the adaptive rung is never even tried for a stable program
+    assert grid.convergence is None
+
+
+def test_fft_lands_on_vectorized_adaptive():
     grid = Sweeper(backend="replay").speedup_grid(
         "fft", "unoptimized", bandwidths=BWS, latencies=LATS)
+    assert grid.backend == "vectorized-adaptive"
+    assert grid.predicted
+    assert grid.replay is not None and not grid.replay.stable
+    assert grid.convergence is not None and grid.convergence.converged
+    # every grid point converged: nothing fell back to the evaluator
+    assert grid.downgraded_points == []
+    # downgrade is not a fallback: the analytic path still validated
+    assert grid.validation is not None and not grid.validation.fallback
+    assert len(grid.points) == len(BWS) * len(LATS)
+
+
+def test_water_falls_through_to_predict():
+    # Water is order-unstable *and* its re-sorting iteration does not
+    # converge (the corner check caps out), so the adaptive rung must
+    # refuse it and the interpreted evaluator prices every point.
+    grid = Sweeper(backend="replay").speedup_grid(
+        "water", "optimized", bandwidths=BWS, latencies=LATS)
     assert grid.backend == "predict"
     assert grid.predicted
     assert grid.replay is not None and not grid.replay.stable
-    # downgrade is not a fallback: the analytic path still validated
+    assert grid.convergence is not None
+    assert not grid.convergence.converged
+    assert not grid.convergence.all_converged
+    assert "adaptive-unconverged" in grid.convergence.summary()
     assert grid.validation is not None and not grid.validation.fallback
 
 
